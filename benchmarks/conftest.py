@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark wraps one experiment runner (E1..E8, see DESIGN.md) with
+pytest-benchmark, checks the shape assertions that correspond to the paper's
+claims, and prints the resulting table so that a benchmark run doubles as a
+regeneration of the EXPERIMENTS.md data.
+"""
+
+import pytest
+
+
+def report(table):
+    """Print an experiment table below the benchmark output."""
+    print()
+    print(table.render())

@@ -1,0 +1,94 @@
+"""The paper's worked examples: Example 4.1 and Example 4.2.
+
+Section 4 of the paper shows that counting states *without* bounding the
+interaction-width or the number of leaders is meaningless:
+
+* Example 4.1 decides ``x >= n`` with **2 states** but interaction-width ``n``,
+* Example 4.2 decides ``x >= n`` with **6 states** and width 2 but ``n`` leaders.
+
+This example builds both protocols for a small threshold, verifies them
+exhaustively, inspects the 0-output-stable (stabilized) configurations of
+Example 4.2 with the Section 5 machinery, and prints the state/width/leader
+trade-off table.
+
+Run with:  python examples/paper_examples.py
+"""
+
+from repro.analysis import check_protocol, is_stabilized, stabilization_certificate
+from repro.core import Configuration
+from repro.protocols import (
+    example_4_1_predicate,
+    example_4_1_protocol,
+    example_4_2_predicate,
+    example_4_2_protocol,
+    flock_of_birds_protocol,
+)
+from repro.protocols.example_4_2 import (
+    STATE_I_BAR,
+    STATE_P_BAR,
+    STATE_Q_BAR,
+    example_4_2_petri_net,
+)
+
+THRESHOLD = 3
+
+
+def verify_examples() -> None:
+    """Exhaustively verify both examples for the chosen threshold."""
+    example41 = example_4_1_protocol(THRESHOLD)
+    report41 = check_protocol(example41, example_4_1_predicate(THRESHOLD), max_agents=THRESHOLD + 2)
+    print(report41.summary())
+
+    example42 = example_4_2_protocol(THRESHOLD)
+    report42 = check_protocol(example42, example_4_2_predicate(THRESHOLD), max_agents=THRESHOLD + 1)
+    print(report42.summary())
+    print()
+
+
+def inspect_stabilized_configurations() -> None:
+    """Section 5 on Example 4.2: stabilized configurations and their certificates."""
+    net = example_4_2_petri_net()
+    rejecting_states = frozenset({STATE_I_BAR, STATE_P_BAR, STATE_Q_BAR})
+
+    base = Configuration({STATE_I_BAR: THRESHOLD})
+    print(f"is {base.pretty()} (T, gamma^-1(0))-stabilized?",
+          is_stabilized(net, base, rejecting_states))
+
+    certificate = stabilization_certificate(net, base, rejecting_states)
+    print(f"Lemma 5.4 certificate: {certificate}")
+    for candidate in (
+        Configuration({STATE_I_BAR: 1}),
+        Configuration({STATE_I_BAR: 2, STATE_P_BAR: 0}),
+        Configuration({STATE_P_BAR: 1}),
+    ):
+        print(
+            f"  certificate implies {candidate.pretty():>8} stabilized:",
+            certificate.implies_stabilized(candidate),
+        )
+    print()
+
+
+def trade_off_table() -> None:
+    """The state/width/leader trade-off of Section 4."""
+    rows = []
+    classic = flock_of_birds_protocol(THRESHOLD)
+    rows.append(("classic flock-of-birds", classic.num_states, classic.width, classic.num_leaders))
+    example41 = example_4_1_protocol(THRESHOLD)
+    rows.append(("Example 4.1", example41.num_states, example41.width, example41.num_leaders))
+    example42 = example_4_2_protocol(THRESHOLD)
+    rows.append(("Example 4.2", example42.num_states, example42.width, example42.num_leaders))
+
+    print(f"trade-offs for the counting predicate (x >= {THRESHOLD}):")
+    print(f"  {'protocol':<24} {'states':>6} {'width':>6} {'leaders':>8}")
+    for name, states, width, leaders in rows:
+        print(f"  {name:<24} {states:>6} {width:>6} {leaders:>8}")
+
+
+def main() -> None:
+    verify_examples()
+    inspect_stabilized_configurations()
+    trade_off_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The state-complexity landscape: the paper's bounds next to the constructions.
+
+This example regenerates, from the library, the picture the paper paints:
+
+* how many states each construction needs for the counting predicate
+  ``x >= n`` (experiment E1),
+* the Theorem 4.3 upper bound on the threshold decidable with ``|P|`` states
+  (experiment E2),
+* the lower-bound comparison along the family ``n = 2^(2^j)``: the paper's
+  ``(log log n)^h`` bound versus the inverse-Ackermann bound of Czerner &
+  Esparza and the ``O(log log n)`` upper bound of Blondin, Esparza & Jaax
+  (experiment E3),
+* the Section 8 constants for a concrete small protocol.
+
+Run with:  python examples/state_complexity_bounds.py
+"""
+
+from repro.analysis import (
+    corollary_4_4_lower_bound,
+    czerner_esparza_lower_bound,
+    min_states_for_threshold,
+    section_8_constants_log2,
+    theorem_4_3_admits_threshold,
+)
+from repro.experiments import (
+    experiment_e1_state_counts,
+    experiment_e2_theorem_4_3,
+    experiment_e3_lower_bounds,
+)
+
+
+def print_experiment_tables() -> None:
+    """Print the E1/E2/E3 tables (the same data the benchmark suite regenerates)."""
+    print(experiment_e1_state_counts().render())
+    print()
+    print(experiment_e2_theorem_4_3().render())
+    print()
+    print(experiment_e3_lower_bounds().render())
+    print()
+
+
+def interrogate_the_bounds() -> None:
+    """A few concrete questions answered by the bound calculators."""
+    n = 2 ** 64
+    print(f"How many states does Theorem 4.3 require for n = 2^64 (m = 2)?")
+    print(f"  at least {min_states_for_threshold(n, 2)} states")
+    print(f"  Corollary 4.4 (h = 0.49) gives {corollary_4_4_lower_bound(n, 2, 0.49):.2f}")
+    print(f"  Czerner-Esparza (PODC'21) gives {czerner_esparza_lower_bound(min(n, 10 ** 9))}")
+    print()
+
+    print("Can 3 states, width 2 and 2 leaders decide x >= 10^9?")
+    print(f"  Theorem 4.3 admits it: {theorem_4_3_admits_threshold(10 ** 9, 3, 2, 2)}")
+    print("Can 1 state, width 1 and 0 leaders decide x >= 10^9?")
+    print(f"  Theorem 4.3 admits it: {theorem_4_3_admits_threshold(10 ** 9, 1, 1, 0)}")
+    print()
+
+
+def section_8_constants_example() -> None:
+    """The Section 8 constants for a 3-state, width-2, single-leader protocol."""
+    logs = section_8_constants_log2(3, 2, 1)
+    print("Section 8 constants for d=3, ||T||_inf=2, ||rho_L||_inf=1 (log2 scale):")
+    for name in ("b", "h", "k", "a", "l", "threshold_bound", "coarse_bound"):
+        print(f"  log2 {name:<16} = {logs[name]:.3g}")
+
+
+def main() -> None:
+    print_experiment_tables()
+    interrogate_the_bounds()
+    section_8_constants_example()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works with the legacy (non-PEP-660) editable install
+path on offline machines where ``wheel`` is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Integer linear algebra substrate (Section 7 dependencies).
+
+Sparse integer vectors, Pottier's algorithm for minimal solutions of
+homogeneous linear Diophantine systems, and the sign-split system used in the
+proof of Lemma 7.3 of the paper.
+"""
+
+from .diophantine import (
+    HomogeneousSystem,
+    decompose_solution,
+    hilbert_basis,
+    pottier_norm_bound,
+)
+from .linear_systems import SignSystem, SignSystemSolution
+from .vectors import IntVector
+
+__all__ = [
+    "IntVector",
+    "HomogeneousSystem",
+    "hilbert_basis",
+    "decompose_solution",
+    "pottier_norm_bound",
+    "SignSystem",
+    "SignSystemSolution",
+]

@@ -1,0 +1,224 @@
+"""Minimal solutions of homogeneous linear Diophantine systems (Pottier, RTA'91).
+
+Lemma 7.3 of the paper relies on the following classical fact [12]: the set of
+solutions ``x in N^n`` of a homogeneous system ``A x = 0`` is generated (as a
+sum) by its finitely many *minimal* solutions (the Hilbert basis), and every
+minimal solution has 1-norm bounded by ``(2 + sum of column infinity-norms)^d``
+where ``d`` is the number of equations.
+
+This module implements:
+
+* :func:`hilbert_basis` — the Contejean–Devie completion algorithm computing
+  the minimal solutions of ``sum_i x_i * a_i = 0`` with ``x in N^n``, where the
+  ``a_i`` are integer column vectors,
+* :func:`decompose_solution` — a greedy decomposition of an arbitrary solution
+  as a non-negative integer combination of minimal solutions (this is the
+  "``(f, g) = sum of H``" step in the proof of Lemma 7.3),
+* :func:`pottier_norm_bound` — the explicit norm bound from [12] used by the
+  paper.
+
+Columns are :class:`~repro.algebra.vectors.IntVector` values over an arbitrary
+coordinate set (the equations), and solutions are ``IntVector`` values over the
+variable names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .vectors import IntVector
+
+Variable = Hashable
+
+__all__ = [
+    "HomogeneousSystem",
+    "hilbert_basis",
+    "decompose_solution",
+    "pottier_norm_bound",
+]
+
+
+class HomogeneousSystem:
+    """A homogeneous linear Diophantine system ``sum_v x_v * column_v = 0``.
+
+    Parameters
+    ----------
+    columns:
+        A mapping from variable names to integer column vectors (one column
+        per variable).  The coordinates of the column vectors are the
+        equations of the system.
+    """
+
+    def __init__(self, columns: Mapping[Variable, IntVector]):
+        if not columns:
+            raise ValueError("a homogeneous system needs at least one variable")
+        self.columns: Dict[Variable, IntVector] = dict(columns)
+        self.variables: Tuple[Variable, ...] = tuple(self.columns)
+        equations = set()
+        for column in self.columns.values():
+            equations |= set(column.support)
+        self.equations: frozenset = frozenset(equations)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def value(self, assignment: IntVector) -> IntVector:
+        """The left-hand side ``sum_v assignment[v] * column_v``."""
+        total = IntVector.zero()
+        for variable, coefficient in assignment.items():
+            if coefficient:
+                total = total + coefficient * self.columns[variable]
+        return total
+
+    def is_solution(self, assignment: IntVector) -> bool:
+        """True if ``assignment`` is a non-negative solution of the system."""
+        return assignment.is_nonnegative() and self.value(assignment).is_zero()
+
+    # ------------------------------------------------------------------
+    # Bounds
+    # ------------------------------------------------------------------
+    def pottier_bound(self) -> int:
+        """The Pottier bound ``(2 + sum_v ||column_v||_inf)^d`` on minimal-solution 1-norms."""
+        return pottier_norm_bound(self.columns.values(), len(self.equations))
+
+    def __repr__(self) -> str:
+        return (
+            f"HomogeneousSystem(variables={len(self.variables)}, "
+            f"equations={len(self.equations)})"
+        )
+
+
+def pottier_norm_bound(columns: Iterable[IntVector], num_equations: int) -> int:
+    """The bound of Pottier [12] used in the proof of Lemma 7.3.
+
+    Every minimal non-negative solution ``x`` of the system whose columns are
+    ``columns`` satisfies ``||x||_1 <= (2 + sum ||column||_inf)^d`` where ``d``
+    is the number of equations.
+    """
+    total = sum(column.norm_inf for column in columns)
+    return (2 + total) ** max(num_equations, 1)
+
+
+def hilbert_basis(
+    system: HomogeneousSystem,
+    max_solutions: Optional[int] = None,
+) -> List[IntVector]:
+    """Minimal non-negative solutions of a homogeneous system (Contejean–Devie).
+
+    The algorithm maintains a frontier of candidate assignments starting from
+    the unit vectors.  A candidate that evaluates to zero is a solution and is
+    recorded (it is minimal because candidates that dominate a recorded
+    solution are pruned).  Otherwise the candidate is extended by one unit in
+    every direction whose column has negative dot product with the current
+    value — the classical geometric criterion that guarantees termination.
+
+    Parameters
+    ----------
+    system:
+        The homogeneous system.
+    max_solutions:
+        Optional safety valve; raise RuntimeError if more minimal solutions
+        than this are produced.
+
+    Returns
+    -------
+    list of IntVector
+        The Hilbert basis: all minimal non-zero solutions.
+    """
+    basis: List[IntVector] = []
+    # Frontier entries are (assignment, value) pairs to avoid recomputation.
+    frontier: List[Tuple[IntVector, IntVector]] = []
+    seen: set = set()
+    for variable in system.variables:
+        assignment = IntVector.unit(variable)
+        frontier.append((assignment, system.columns[variable]))
+        seen.add(assignment)
+
+    while frontier:
+        next_frontier: List[Tuple[IntVector, IntVector]] = []
+        for assignment, value in frontier:
+            if _dominates_any(assignment, basis):
+                continue
+            if value.is_zero():
+                basis.append(assignment)
+                if max_solutions is not None and len(basis) > max_solutions:
+                    raise RuntimeError(
+                        f"hilbert_basis exceeded {max_solutions} minimal solutions"
+                    )
+                continue
+            for variable in system.variables:
+                column = system.columns[variable]
+                if value.dot(column) < 0:
+                    extended = assignment + IntVector.unit(variable)
+                    if extended in seen:
+                        continue
+                    if _dominates_any(extended, basis):
+                        continue
+                    seen.add(extended)
+                    next_frontier.append((extended, value + column))
+        frontier = next_frontier
+
+    # Remove any non-minimal stragglers (solutions found before a smaller one).
+    minimal: List[IntVector] = []
+    for candidate in sorted(basis, key=lambda vector: vector.norm1):
+        if not _dominates_any(candidate, minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+def _dominates_any(candidate: IntVector, basis: Sequence[IntVector]) -> bool:
+    """True if ``candidate >= b`` componentwise for some basis element ``b``."""
+    return any(element <= candidate for element in basis)
+
+
+def decompose_solution(
+    system: HomogeneousSystem,
+    solution: IntVector,
+    basis: Optional[Sequence[IntVector]] = None,
+) -> List[IntVector]:
+    """Write a solution as a sum of minimal solutions (with multiplicity).
+
+    This is the decomposition used in the proof of Lemma 7.3: any non-negative
+    solution of a homogeneous system is a finite sum of elements of the
+    Hilbert basis.  The decomposition is greedy — repeatedly subtract any
+    basis element dominated by the remainder — which is correct because the
+    remainder stays a solution and every non-zero solution dominates a minimal
+    one.
+
+    Parameters
+    ----------
+    system:
+        The homogeneous system.
+    solution:
+        A non-negative solution of the system.
+    basis:
+        The Hilbert basis (computed with :func:`hilbert_basis` if omitted).
+
+    Returns
+    -------
+    list of IntVector
+        Basis elements (repeated according to multiplicity) summing to
+        ``solution``.
+
+    Raises
+    ------
+    ValueError
+        If ``solution`` is not a solution of the system.
+    """
+    if not system.is_solution(solution):
+        raise ValueError("decompose_solution requires a non-negative solution of the system")
+    if basis is None:
+        basis = hilbert_basis(system)
+    parts: List[IntVector] = []
+    remainder = solution
+    while not remainder.is_zero():
+        for element in basis:
+            if element <= remainder:
+                parts.append(element)
+                remainder = remainder - element
+                break
+        else:
+            raise RuntimeError(
+                "greedy decomposition failed: the basis does not generate the solution"
+            )
+    return parts

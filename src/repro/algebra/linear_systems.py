@@ -1,0 +1,189 @@
+"""The sign-split linear system used in the proof of Lemma 7.3.
+
+Given a multicycle ``Theta`` of a Petri net with control-states, the paper
+introduces (equation (1) of Section 7) the homogeneous system over free
+variables ``(alpha, beta) in N^P x N^A``:
+
+    for every place ``p``:   ``s(p) * alpha(p) = sum_{a in A} beta(a) * a(p)``
+
+where ``A`` is the set of displacements of simple cycles and ``s`` is the sign
+function of ``Delta(Theta)``.  The pair ``(f, g)`` — absolute displacement and
+simple-cycle multiplicities of ``Theta`` — is a solution, and Pottier's bound
+gives small minimal solutions that are recombined into the small multicycle
+``Theta'`` of Lemma 7.3.
+
+:class:`SignSystem` packages this construction: it builds the homogeneous
+system from a set of actions and a sign function, computes its Hilbert basis,
+and splits/decomposes solutions exactly the way the proof does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .diophantine import HomogeneousSystem, decompose_solution, hilbert_basis
+from .vectors import IntVector
+
+Place = Hashable
+ActionKey = Hashable
+
+__all__ = ["SignSystem", "SignSystemSolution"]
+
+# Variable tags: alpha-variables are ("alpha", place), beta-variables are ("beta", key).
+_ALPHA = "alpha"
+_BETA = "beta"
+
+
+class SignSystemSolution:
+    """A solution ``(alpha, beta)`` of a :class:`SignSystem`.
+
+    ``alpha`` maps places to N (the absolute displacement part), ``beta`` maps
+    action keys to N (the multiplicity of each simple-cycle displacement).
+    """
+
+    def __init__(self, alpha: IntVector, beta: IntVector):
+        self.alpha = alpha
+        self.beta = beta
+
+    @property
+    def norm1(self) -> int:
+        """``||alpha||_1 + ||beta||_1`` — the quantity bounded by Pottier's bound."""
+        return self.alpha.norm1 + self.beta.norm1
+
+    def __add__(self, other: "SignSystemSolution") -> "SignSystemSolution":
+        return SignSystemSolution(self.alpha + other.alpha, self.beta + other.beta)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignSystemSolution):
+            return NotImplemented
+        return self.alpha == other.alpha and self.beta == other.beta
+
+    def __hash__(self) -> int:
+        return hash((self.alpha, self.beta))
+
+    def __repr__(self) -> str:
+        return f"SignSystemSolution(alpha={self.alpha!r}, beta={self.beta!r})"
+
+
+class SignSystem:
+    """The homogeneous system (1) of Section 7.
+
+    Parameters
+    ----------
+    places:
+        The places ``P`` of the Petri net.
+    actions:
+        A mapping from action keys (typically the displacement of each simple
+        cycle, or an identifier of it) to the action itself, an
+        :class:`~repro.algebra.vectors.IntVector` over ``places``.
+    signs:
+        The sign function ``s : P -> {+1, -1}``.  Following the paper,
+        ``s(p) = +1`` when ``Delta(Theta)(p) >= 0`` and ``-1`` otherwise.
+    """
+
+    def __init__(
+        self,
+        places: Iterable[Place],
+        actions: Mapping[ActionKey, IntVector],
+        signs: Mapping[Place, int],
+    ):
+        self.places: Tuple[Place, ...] = tuple(places)
+        self.actions: Dict[ActionKey, IntVector] = dict(actions)
+        self.signs: Dict[Place, int] = {}
+        for place in self.places:
+            sign = signs.get(place, 1)
+            if sign not in (1, -1):
+                raise ValueError(f"sign of place {place!r} must be +1 or -1, got {sign}")
+            self.signs[place] = sign
+        self._system = self._build_system()
+        self._basis: Optional[List[IntVector]] = None
+
+    # ------------------------------------------------------------------
+    # System construction
+    # ------------------------------------------------------------------
+    def _build_system(self) -> HomogeneousSystem:
+        """Build the homogeneous system ``s(p) alpha(p) - sum_a beta(a) a(p) = 0``."""
+        columns: Dict[Tuple[str, Hashable], IntVector] = {}
+        for place in self.places:
+            columns[(_ALPHA, place)] = IntVector.unit(place, self.signs[place])
+        for key, action in self.actions.items():
+            columns[(_BETA, key)] = -action.restrict(self.places)
+        return HomogeneousSystem(columns)
+
+    @property
+    def homogeneous_system(self) -> HomogeneousSystem:
+        """The underlying homogeneous system over the combined variables."""
+        return self._system
+
+    # ------------------------------------------------------------------
+    # Solutions
+    # ------------------------------------------------------------------
+    def make_solution(
+        self, alpha: Mapping[Place, int], beta: Mapping[ActionKey, int]
+    ) -> SignSystemSolution:
+        """Package ``(alpha, beta)`` mappings into a solution object (no check)."""
+        return SignSystemSolution(IntVector(dict(alpha)), IntVector(dict(beta)))
+
+    def is_solution(self, solution: SignSystemSolution) -> bool:
+        """Check that ``(alpha, beta)`` satisfies every equation of the system."""
+        return self._system.is_solution(self._combine(solution))
+
+    def _combine(self, solution: SignSystemSolution) -> IntVector:
+        entries: Dict[Tuple[str, Hashable], int] = {}
+        for place, value in solution.alpha.items():
+            entries[(_ALPHA, place)] = value
+        for key, value in solution.beta.items():
+            entries[(_BETA, key)] = value
+        return IntVector(entries)
+
+    def _split(self, combined: IntVector) -> SignSystemSolution:
+        alpha: Dict[Place, int] = {}
+        beta: Dict[ActionKey, int] = {}
+        for (tag, name), value in combined.items():
+            if tag == _ALPHA:
+                alpha[name] = value
+            else:
+                beta[name] = value
+        return SignSystemSolution(IntVector(alpha), IntVector(beta))
+
+    def solution_from_multicycle(
+        self, displacement: IntVector, multiplicities: Mapping[ActionKey, int]
+    ) -> SignSystemSolution:
+        """The canonical solution ``(f, g)`` associated with a multicycle.
+
+        ``f(p) = |Delta(Theta)(p)|`` and ``g(a)`` is the number of simple cycles
+        of displacement ``a`` occurring in ``Theta``.
+        """
+        alpha = IntVector({place: abs(displacement[place]) for place in self.places})
+        beta = IntVector(dict(multiplicities))
+        return SignSystemSolution(alpha, beta)
+
+    # ------------------------------------------------------------------
+    # Hilbert basis and decomposition (the heart of Lemma 7.3)
+    # ------------------------------------------------------------------
+    def minimal_solutions(self) -> List[SignSystemSolution]:
+        """The Hilbert basis of the system, split into ``(alpha, beta)`` pairs."""
+        if self._basis is None:
+            self._basis = hilbert_basis(self._system)
+        return [self._split(element) for element in self._basis]
+
+    def decompose(self, solution: SignSystemSolution) -> List[SignSystemSolution]:
+        """Decompose a solution as a sum of minimal solutions (Lemma 7.3 step)."""
+        if self._basis is None:
+            self._basis = hilbert_basis(self._system)
+        parts = decompose_solution(self._system, self._combine(solution), self._basis)
+        return [self._split(part) for part in parts]
+
+    def pottier_bound(self) -> int:
+        """The paper's bound ``(2 + sum_a ||a||_inf)^d`` on minimal solution norms.
+
+        Note the paper measures only the beta columns (the actions); the alpha
+        columns are unit vectors and are absorbed into the ``2 +`` constant.
+        """
+        total = sum(action.norm_inf for action in self.actions.values())
+        return (2 + total) ** max(len(self.places), 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"SignSystem(places={len(self.places)}, actions={len(self.actions)})"
+        )

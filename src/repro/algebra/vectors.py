@@ -1,0 +1,210 @@
+"""Sparse integer vectors over named coordinates.
+
+The control-state analysis of Section 7 manipulates *actions*: mappings
+``P -> Z`` (displacements of transitions, edges, paths and multicycles).  This
+module provides an immutable sparse integer-vector type with the norms used by
+the paper (``||a||_1``, ``||a||_inf``), restriction ``a|_Q``, and the usual
+componentwise algebra.
+
+Unlike :class:`repro.core.configuration.Configuration`, entries may be
+negative; a configuration can be converted to a vector and a non-negative
+vector back to a configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+from ..core.configuration import Configuration
+
+Coordinate = Hashable
+
+__all__ = ["IntVector", "Coordinate"]
+
+
+class IntVector:
+    """An immutable sparse mapping ``coordinates -> Z`` (zero entries dropped)."""
+
+    __slots__ = ("_entries", "_hash")
+
+    def __init__(self, entries: Optional[Mapping[Coordinate, int]] = None):
+        clean: Dict[Coordinate, int] = {}
+        if entries:
+            for coordinate, value in entries.items():
+                if value != 0:
+                    clean[coordinate] = int(value)
+        self._entries = clean
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "IntVector":
+        """The zero vector."""
+        return _ZERO
+
+    @staticmethod
+    def unit(coordinate: Coordinate, value: int = 1) -> "IntVector":
+        """The vector with a single non-zero entry."""
+        return IntVector({coordinate: value})
+
+    @staticmethod
+    def from_configuration(configuration: Configuration) -> "IntVector":
+        """View a configuration as a non-negative integer vector."""
+        return IntVector(configuration.to_dict())
+
+    def to_configuration(self) -> Configuration:
+        """Convert to a configuration; raises if any entry is negative."""
+        return Configuration(self._entries)
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, coordinate: Coordinate) -> int:
+        return self._entries.get(coordinate, 0)
+
+    def __iter__(self) -> Iterator[Coordinate]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterable[Tuple[Coordinate, int]]:
+        """Iterate over ``(coordinate, value)`` pairs with non-zero value."""
+        return self._entries.items()
+
+    @property
+    def support(self) -> frozenset:
+        """The coordinates with a non-zero entry."""
+        return frozenset(self._entries)
+
+    def to_dict(self) -> Dict[Coordinate, int]:
+        """A fresh plain dict copy of the non-zero entries."""
+        return dict(self._entries)
+
+    def is_zero(self) -> bool:
+        """True if every entry is zero."""
+        return not self._entries
+
+    def is_nonnegative(self) -> bool:
+        """True if every entry is >= 0."""
+        return all(value >= 0 for value in self._entries.values())
+
+    def is_nonpositive(self) -> bool:
+        """True if every entry is <= 0."""
+        return all(value <= 0 for value in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Norms (paper notation: ||a||_1, ||a||_inf)
+    # ------------------------------------------------------------------
+    @property
+    def norm1(self) -> int:
+        """``||a||_1``: the sum of absolute values of the entries."""
+        return sum(abs(value) for value in self._entries.values())
+
+    @property
+    def norm_inf(self) -> int:
+        """``||a||_inf``: the largest absolute value of an entry."""
+        if not self._entries:
+            return 0
+        return max(abs(value) for value in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "IntVector") -> "IntVector":
+        if not isinstance(other, IntVector):
+            return NotImplemented
+        entries = dict(self._entries)
+        for coordinate, value in other._entries.items():
+            entries[coordinate] = entries.get(coordinate, 0) + value
+        return IntVector(entries)
+
+    def __sub__(self, other: "IntVector") -> "IntVector":
+        if not isinstance(other, IntVector):
+            return NotImplemented
+        entries = dict(self._entries)
+        for coordinate, value in other._entries.items():
+            entries[coordinate] = entries.get(coordinate, 0) - value
+        return IntVector(entries)
+
+    def __neg__(self) -> "IntVector":
+        return IntVector({coordinate: -value for coordinate, value in self._entries.items()})
+
+    def __mul__(self, scalar: int) -> "IntVector":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        if scalar == 0:
+            return _ZERO
+        return IntVector({coordinate: scalar * value for coordinate, value in self._entries.items()})
+
+    def __rmul__(self, scalar: int) -> "IntVector":
+        return self.__mul__(scalar)
+
+    def dot(self, other: "IntVector") -> int:
+        """The integer dot product of two vectors."""
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return sum(value * large[coordinate] for coordinate, value in small.items())
+
+    # ------------------------------------------------------------------
+    # Order and restriction
+    # ------------------------------------------------------------------
+    def __le__(self, other: "IntVector") -> bool:
+        if not isinstance(other, IntVector):
+            return NotImplemented
+        coordinates = self.support | other.support
+        return all(self[coordinate] <= other[coordinate] for coordinate in coordinates)
+
+    def __ge__(self, other: "IntVector") -> bool:
+        if not isinstance(other, IntVector):
+            return NotImplemented
+        return other <= self
+
+    def restrict(self, coordinates: Iterable[Coordinate]) -> "IntVector":
+        """``a|_Q``: keep only the entries whose coordinate is in ``coordinates``."""
+        wanted = set(coordinates)
+        return IntVector(
+            {coordinate: value for coordinate, value in self._entries.items() if coordinate in wanted}
+        )
+
+    def sign(self) -> "IntVector":
+        """The componentwise sign vector (entries in {-1, 0, +1})."""
+        return IntVector(
+            {coordinate: (1 if value > 0 else -1) for coordinate, value in self._entries.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntVector):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._entries.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:
+        if not self._entries:
+            return "IntVector({})"
+        try:
+            entries = sorted(self._entries.items(), key=lambda item: str(item[0]))
+        except TypeError:
+            entries = list(self._entries.items())
+        inner = ", ".join(f"{coordinate!r}: {value}" for coordinate, value in entries)
+        return f"IntVector({{{inner}}})"
+
+
+_ZERO = IntVector({})

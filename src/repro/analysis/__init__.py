@@ -1,0 +1,119 @@
+"""Analysis layer: coverability, stability, bottom configurations, verification, bounds.
+
+Implements Sections 5, 6 and 8 of the paper plus the comparison bounds:
+Rackoff's coverability bound and decision procedures, the small-value
+characterization of stabilized configurations, bottom-configuration search,
+exhaustive protocol verification on bounded populations, the Theorem 4.3 /
+Corollary 4.4 state-complexity bounds, and the Ackermann hierarchy used by the
+Czerner–Esparza comparison.
+"""
+
+from .ackermann import (
+    ackermann,
+    ackermann_level,
+    czerner_esparza_lower_bound,
+    inverse_ackermann,
+)
+from .components import (
+    BottomWitness,
+    component_of,
+    find_bottom_witness,
+    is_bottom,
+    lemma_6_2_word_bound,
+    theorem_6_1_bound,
+)
+from .coverability import (
+    OMEGA,
+    KarpMillerTree,
+    backward_coverability,
+    is_coverable,
+    rackoff_bound,
+    rackoff_stabilization_threshold,
+    shortest_covering_word,
+)
+from .reachability import (
+    condensation_is_bottom,
+    enumerate_configurations,
+    enumerate_configurations_up_to,
+    shortest_distances,
+    strongly_connected_components,
+)
+from .stability import (
+    StabilizationCertificate,
+    is_stabilized,
+    lift_restricted_word,
+    stabilization_certificate,
+    violating_state,
+)
+from .state_complexity import (
+    Section8Constants,
+    bej_leaderless_upper_bound,
+    bej_upper_bound_with_leaders,
+    corollary_4_4_lower_bound,
+    max_threshold_for_states,
+    max_threshold_for_states_log2_log2,
+    min_states_for_threshold,
+    section_8_constants,
+    section_8_constants_log2,
+    theorem_4_3_admits_threshold,
+    theorem_4_3_bound,
+    theorem_4_3_bound_for_protocol,
+    theorem_4_3_holds_for_protocol,
+    theorem_4_3_log2_log2_bound,
+)
+from .verification import (
+    InputVerdict,
+    VerificationReport,
+    check_protocol,
+    find_counterexample,
+    verify_input,
+)
+
+__all__ = [
+    "rackoff_bound",
+    "rackoff_stabilization_threshold",
+    "backward_coverability",
+    "is_coverable",
+    "shortest_covering_word",
+    "KarpMillerTree",
+    "OMEGA",
+    "enumerate_configurations",
+    "enumerate_configurations_up_to",
+    "shortest_distances",
+    "strongly_connected_components",
+    "condensation_is_bottom",
+    "is_stabilized",
+    "violating_state",
+    "StabilizationCertificate",
+    "stabilization_certificate",
+    "lift_restricted_word",
+    "component_of",
+    "is_bottom",
+    "BottomWitness",
+    "find_bottom_witness",
+    "theorem_6_1_bound",
+    "lemma_6_2_word_bound",
+    "theorem_4_3_bound",
+    "theorem_4_3_log2_log2_bound",
+    "theorem_4_3_admits_threshold",
+    "theorem_4_3_bound_for_protocol",
+    "theorem_4_3_holds_for_protocol",
+    "max_threshold_for_states",
+    "max_threshold_for_states_log2_log2",
+    "min_states_for_threshold",
+    "corollary_4_4_lower_bound",
+    "bej_upper_bound_with_leaders",
+    "bej_leaderless_upper_bound",
+    "Section8Constants",
+    "section_8_constants",
+    "section_8_constants_log2",
+    "ackermann",
+    "ackermann_level",
+    "inverse_ackermann",
+    "czerner_esparza_lower_bound",
+    "InputVerdict",
+    "VerificationReport",
+    "verify_input",
+    "check_protocol",
+    "find_counterexample",
+]

@@ -1,0 +1,150 @@
+"""Explicit-state reachability utilities.
+
+Helper routines shared by the stability, component and verification analyses:
+enumeration of configurations of bounded size, strongly connected components
+of reachability graphs, and shortest-distance computations.  Everything here
+operates on the explicit :class:`~repro.core.petrinet.ReachabilityGraph`
+produced by forward exploration — which is finite for conservative nets and
+for explorations truncated by a node budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.configuration import Configuration, State
+from ..core.petrinet import PetriNet, ReachabilityGraph
+
+__all__ = [
+    "enumerate_configurations",
+    "enumerate_configurations_up_to",
+    "shortest_distances",
+    "strongly_connected_components",
+    "condensation_is_bottom",
+]
+
+
+def enumerate_configurations(states: Sequence[State], total: int) -> Iterator[Configuration]:
+    """Enumerate every configuration over ``states`` with exactly ``total`` agents."""
+    states = list(states)
+    if not states:
+        if total == 0:
+            yield Configuration.zero()
+        return
+
+    def recurse(index: int, remaining: int, current: Dict[State, int]) -> Iterator[Configuration]:
+        if index == len(states) - 1:
+            if remaining:
+                current[states[index]] = remaining
+            yield Configuration(current)
+            current.pop(states[index], None)
+            return
+        for count in range(remaining + 1):
+            if count:
+                current[states[index]] = count
+            yield from recurse(index + 1, remaining - count, current)
+            current.pop(states[index], None)
+
+    yield from recurse(0, total, {})
+
+
+def enumerate_configurations_up_to(
+    states: Sequence[State], max_total: int
+) -> Iterator[Configuration]:
+    """Enumerate every configuration over ``states`` with at most ``max_total`` agents."""
+    for total in range(max_total + 1):
+        yield from enumerate_configurations(states, total)
+
+
+def shortest_distances(
+    graph: ReachabilityGraph, root: Configuration
+) -> Dict[Configuration, int]:
+    """BFS distances (in transition firings) from ``root`` within the graph."""
+    if root not in graph.nodes:
+        return {}
+    distances = {root: 0}
+    frontier = deque([root])
+    while frontier:
+        current = frontier.popleft()
+        for _, target in graph.successors(current):
+            if target not in distances:
+                distances[target] = distances[current] + 1
+                frontier.append(target)
+    return distances
+
+
+def strongly_connected_components(
+    graph: ReachabilityGraph,
+) -> List[Set[Configuration]]:
+    """Tarjan's algorithm on a reachability graph.
+
+    The returned components are in reverse topological order of the
+    condensation (every edge of the condensation goes from a later component
+    to an earlier one in the list), which is the order Tarjan naturally emits.
+    """
+    index_counter = [0]
+    stack: List[Configuration] = []
+    lowlink: Dict[Configuration, int] = {}
+    index: Dict[Configuration, int] = {}
+    on_stack: Dict[Configuration, bool] = {}
+    components: List[Set[Configuration]] = []
+
+    def strongconnect(node: Configuration) -> None:
+        work: List[Tuple[Configuration, Iterator[Tuple[object, Configuration]]]] = [
+            (node, iter(graph.successors(node)))
+        ]
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack[node] = True
+        while work:
+            current, successor_iterator = work[-1]
+            advanced = False
+            for _, successor in successor_iterator:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if on_stack.get(successor, False):
+                    lowlink[current] = min(lowlink[current], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component: Set[Configuration] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.add(member)
+                    if member == current:
+                        break
+                components.append(component)
+
+    for node in graph.nodes:
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def condensation_is_bottom(
+    graph: ReachabilityGraph, component: Set[Configuration]
+) -> bool:
+    """True if the strongly connected ``component`` has no edge leaving it.
+
+    A configuration is *T-bottom* (paper, Section 6) exactly when its
+    T-component is finite and is a bottom component of the condensation of the
+    reachability graph — i.e. every reachable configuration can come back.
+    """
+    for node in component:
+        for _, target in graph.successors(node):
+            if target not in component:
+                return False
+    return True

@@ -1,0 +1,321 @@
+"""The state-complexity bounds of the paper (Theorem 4.3, Corollary 4.4, Section 8).
+
+Theorem 4.3: every finite-interaction-width protocol stably computing the
+counting predicate ``(i >= n)`` satisfies
+
+    ``n <= (4 + 4 * width + 2 * |leaders|) ** (|P| * (|P| + 2)**2)``.
+
+Corollary 4.4: for every ``h < 1/2`` and every ``m >= 1``, a protocol for
+``(i >= n)`` with interaction-width and leader count bounded by ``m`` has at
+least ``Omega((log log n)^h)`` states; the constructive form proved in the
+paper is
+
+    ``|P| >= ((log2 log2 n - log2 log2 (10 m)) / log2 2) ** h - 2``
+          =  ``(log2 log2 n - log2 log2 (10 m)) ** h - 2``.
+
+This module evaluates these bounds exactly with Python integers (they are
+astronomically large very quickly), provides the inverse direction used by
+benchmark E2 (largest ``n`` a protocol with ``|P|`` states could possibly
+decide), computes the Section 8 constants ``b, h, k, a, l, r``, and exposes
+the matching *upper* bounds of Blondin–Esparza–Jaax for comparison:
+
+* ``O(log n)`` states, leaderless (binary-counter construction),
+* ``O(log log n)`` states with a bounded number of leaders, for the infinite
+  family ``n = 2^(2^k)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.protocol import Protocol
+
+__all__ = [
+    "theorem_4_3_bound",
+    "theorem_4_3_log2_log2_bound",
+    "theorem_4_3_admits_threshold",
+    "theorem_4_3_bound_for_protocol",
+    "theorem_4_3_holds_for_protocol",
+    "max_threshold_for_states",
+    "max_threshold_for_states_log2_log2",
+    "min_states_for_threshold",
+    "corollary_4_4_lower_bound",
+    "bej_upper_bound_with_leaders",
+    "bej_leaderless_upper_bound",
+    "Section8Constants",
+    "section_8_constants",
+    "section_8_constants_log2",
+]
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.3
+# ----------------------------------------------------------------------
+def _theorem_4_3_exponent(num_states: int) -> int:
+    """The exponent ``|P|^{(|P|+2)^2}`` of Theorem 4.3."""
+    return num_states ** ((num_states + 2) ** 2)
+
+
+def theorem_4_3_bound(num_states: int, width: int, num_leaders: int) -> int:
+    """The right-hand side of Theorem 4.3: ``(4 + 4w + 2L)^{|P|^{(|P|+2)^2}}``.
+
+    Any protocol with ``num_states`` states, interaction-width ``width`` and
+    ``num_leaders`` leaders that stably computes ``(i >= n)`` must satisfy
+    ``n <=`` this value.
+
+    .. warning::
+       The exact value is doubly exponential in ``|P|``: it cannot be
+       materialized beyond ``|P| = 2`` (already for ``|P| = 3`` it has roughly
+       ``10^{12}`` digits).  Use :func:`theorem_4_3_log2_log2_bound` or
+       :func:`theorem_4_3_admits_threshold` for anything larger.
+    """
+    if num_states < 1:
+        raise ValueError("a protocol has at least one state")
+    if width < 0 or num_leaders < 0:
+        raise ValueError("width and leader count are non-negative")
+    base = 4 + 4 * width + 2 * num_leaders
+    return base ** _theorem_4_3_exponent(num_states)
+
+
+def theorem_4_3_log2_log2_bound(num_states: int, width: int, num_leaders: int) -> float:
+    """``log2 log2`` of the Theorem 4.3 bound (usable for any ``|P|``).
+
+    ``log2 log2 bound = (|P|+2)^2 * log2 |P| + log2 log2 (4 + 4w + 2L)``,
+    with the convention that the first term is 0 when ``|P| = 1``.
+    """
+    if num_states < 1:
+        raise ValueError("a protocol has at least one state")
+    if width < 0 or num_leaders < 0:
+        raise ValueError("width and leader count are non-negative")
+    base = 4 + 4 * width + 2 * num_leaders
+    exponent_term = ((num_states + 2) ** 2) * math.log2(num_states) if num_states > 1 else 0.0
+    return exponent_term + math.log2(math.log2(base))
+
+
+def theorem_4_3_admits_threshold(
+    threshold: int, num_states: int, width: int, num_leaders: int
+) -> bool:
+    """Whether ``threshold <= theorem_4_3_bound(...)``, computed on a log-log scale.
+
+    This is the inequality the theorem asserts for every protocol that stably
+    computes ``(i >= threshold)``; it is evaluated without materializing the
+    doubly-exponential bound.
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be positive")
+    if threshold <= 2:
+        return True
+    # log2 threshold via bit_length is exact enough for a strict comparison
+    # margin of one bit, and never overflows.
+    log2_threshold = float(threshold.bit_length() - 1)
+    if log2_threshold <= 1.0:
+        return True
+    return math.log2(log2_threshold) <= theorem_4_3_log2_log2_bound(
+        num_states, width, num_leaders
+    )
+
+
+def theorem_4_3_bound_for_protocol(protocol: Protocol) -> int:
+    """Theorem 4.3 evaluated exactly on a concrete protocol object (tiny ``|P|`` only)."""
+    width = protocol.width
+    if width is None:
+        raise ValueError("Theorem 4.3 only applies to finite interaction-width protocols")
+    return theorem_4_3_bound(protocol.num_states, width, protocol.num_leaders)
+
+
+def theorem_4_3_holds_for_protocol(protocol: Protocol, threshold: int) -> bool:
+    """Check the Theorem 4.3 inequality for a protocol deciding ``(i >= threshold)``."""
+    width = protocol.width
+    if width is None:
+        raise ValueError("Theorem 4.3 only applies to finite interaction-width protocols")
+    return theorem_4_3_admits_threshold(
+        threshold, protocol.num_states, width, protocol.num_leaders
+    )
+
+
+def max_threshold_for_states(num_states: int, bound_parameter: int) -> int:
+    """The largest ``n`` possibly decidable with ``num_states`` states (exact value).
+
+    ``bound_parameter`` is the common bound ``m`` on the interaction-width and
+    the number of leaders, matching the ``(10 m)^{|P|^{(|P|+2)^2}}``
+    simplification used in the proof of Corollary 4.4.  Only computable for
+    ``num_states <= 2``; use :func:`max_threshold_for_states_log2_log2` beyond.
+    """
+    if bound_parameter < 1:
+        raise ValueError("the width/leader bound must be at least 1")
+    if num_states < 1:
+        raise ValueError("a protocol has at least one state")
+    return (10 * bound_parameter) ** _theorem_4_3_exponent(num_states)
+
+
+def max_threshold_for_states_log2_log2(num_states: int, bound_parameter: int) -> float:
+    """``log2 log2`` of :func:`max_threshold_for_states` (usable for any ``|P|``)."""
+    if bound_parameter < 1:
+        raise ValueError("the width/leader bound must be at least 1")
+    if num_states < 1:
+        raise ValueError("a protocol has at least one state")
+    exponent_term = ((num_states + 2) ** 2) * math.log2(num_states) if num_states > 1 else 0.0
+    return exponent_term + math.log2(math.log2(10 * bound_parameter))
+
+
+def min_states_for_threshold(threshold: int, bound_parameter: int) -> int:
+    """The smallest ``|P|`` compatible with Theorem 4.3 for the predicate ``(i >= threshold)``.
+
+    Computed by inverting the ``(10 m)^{|P|^{(|P|+2)^2}}`` bound with a linear
+    scan on a log-log scale (the bound grows doubly exponentially, so the scan
+    is tiny).
+    """
+    if threshold < 1:
+        raise ValueError("threshold must be positive")
+    if bound_parameter < 1:
+        raise ValueError("the width/leader bound must be at least 1")
+    if threshold <= 2:
+        return 1
+    log2_threshold = float(threshold.bit_length() - 1)
+    target = math.log2(log2_threshold) if log2_threshold > 1 else 0.0
+    num_states = 1
+    while max_threshold_for_states_log2_log2(num_states, bound_parameter) < target:
+        num_states += 1
+    return num_states
+
+
+# ----------------------------------------------------------------------
+# Corollary 4.4 and the matching upper bounds
+# ----------------------------------------------------------------------
+def corollary_4_4_lower_bound(n: int, bound_parameter: int, h: float) -> float:
+    """The constructive lower bound of Corollary 4.4 on the number of states.
+
+    ``((log2 log2 n - log2 log2 (10 m)) ) ** h - 2`` for ``h < 1/2``; the value
+    is only meaningful (positive) once ``n`` is large enough.  Returns 0 when
+    the inner logarithms are not defined.
+    """
+    if not 0 < h < 0.5:
+        raise ValueError("Corollary 4.4 requires 0 < h < 1/2")
+    if bound_parameter < 1:
+        raise ValueError("the width/leader bound must be at least 1")
+    if n < 4:
+        return 0.0
+    inner = math.log2(math.log2(n)) - math.log2(math.log2(10 * bound_parameter))
+    if inner <= 0:
+        return 0.0
+    return max(inner ** h - 2, 0.0)
+
+
+def bej_upper_bound_with_leaders(n: int, constant: float = 1.0) -> float:
+    """The Blondin–Esparza–Jaax upper bound ``O(log log n)`` (with leaders).
+
+    Valid for the infinite family of thresholds exhibited in their paper
+    (``n = 2^(2^k)`` in our concrete construction); the multiplicative
+    constant is configurable for shape comparisons.
+    """
+    if n < 4:
+        return float(constant)
+    return constant * math.log2(math.log2(n))
+
+
+def bej_leaderless_upper_bound(n: int, constant: float = 1.0) -> float:
+    """The leaderless upper bound ``O(log n)`` (binary-counter construction)."""
+    if n < 2:
+        return float(constant)
+    return constant * math.log2(n)
+
+
+# ----------------------------------------------------------------------
+# The Section 8 constants
+# ----------------------------------------------------------------------
+@dataclass
+class Section8Constants:
+    """The explicit constants ``b, h, k, a, l, r`` defined at the start of Section 8.
+
+    They are functions of ``d = |P|``, ``||T||_inf`` and ``||rho_L||_inf``;
+    the final contradiction shows ``n <= h^(5 d^2 + 2 d + 4)`` which is then
+    coarsened into Theorem 4.3.  All values are exact Python integers.
+    """
+
+    d: int
+    t_norm: int
+    leader_norm: int
+    b: int
+    h: int
+    k: int
+    a: int
+    l: int
+    r: int
+
+    @property
+    def threshold_bound(self) -> int:
+        """The bound ``h^(5 d^2 + 2 d + 4)`` on ``n`` established by Section 8."""
+        return self.h ** (5 * self.d ** 2 + 2 * self.d + 4)
+
+    @property
+    def coarse_bound(self) -> int:
+        """The coarsened bound ``(4 + 4||T||_inf + 2||rho_L||_inf)^r`` of the end of Section 8.
+
+        The exponent ``r`` is further bounded by ``d^{(d+2)^2}`` in the paper,
+        which yields the Theorem 4.3 statement.
+        """
+        return (4 + 4 * self.t_norm + 2 * self.leader_norm) ** self.r
+
+
+def section_8_constants(d: int, t_norm: int, leader_norm: int) -> Section8Constants:
+    """Compute the constants ``b, h, k, a, l, r`` of Section 8.
+
+    Parameters
+    ----------
+    d:
+        The number of states ``|P|`` (must be at least 2; the paper handles
+        ``d = 1`` separately since then ``n = 1``).
+    t_norm:
+        ``||T||_inf`` — bounded by the interaction-width of the protocol.
+    leader_norm:
+        ``||rho_L||_inf`` — bounded by the number of leaders.
+    """
+    if d < 2:
+        raise ValueError("Section 8 assumes d >= 2 (d = 1 forces n = 1)")
+    d1 = d - 1
+    b = (4 + 4 * t_norm + 2 * leader_norm) ** (
+        (d1 ** d1) * (1 + (2 + d1 ** d1) ** d)
+    )
+    h = d * (1 + t_norm) * b
+    k = d * h ** (d ** 2 + d + 1)
+    a = h ** (2 * d + 3)
+    l = h ** (5 * d ** 2)
+    r = 2 * (d1 ** d1) * (1 + (2 + d1 ** d1) ** d) * (5 * d ** 2 + 2 * d + 4)
+    return Section8Constants(
+        d=d, t_norm=t_norm, leader_norm=leader_norm, b=b, h=h, k=k, a=a, l=l, r=r
+    )
+
+
+def section_8_constants_log2(d: int, t_norm: int, leader_norm: int) -> Dict[str, float]:
+    """Base-2 logarithms of the Section 8 constants.
+
+    The exact constants have astronomically many digits as soon as ``d >= 4``
+    (``b`` alone has tens of millions of digits for ``d = 4``), so parameter
+    sweeps (benchmark E2) work with logarithms instead.  Returns a dict with
+    keys ``b``, ``h``, ``k``, ``a``, ``l``, ``threshold_bound`` and
+    ``coarse_bound``.
+    """
+    if d < 2:
+        raise ValueError("Section 8 assumes d >= 2 (d = 1 forces n = 1)")
+    d1 = d - 1
+    log_base = math.log2(4 + 4 * t_norm + 2 * leader_norm)
+    exponent_b = (d1 ** d1) * (1 + (2 + d1 ** d1) ** d)
+    log_b = exponent_b * log_base
+    log_h = math.log2(d * (1 + t_norm)) + log_b
+    log_k = math.log2(d) + (d ** 2 + d + 1) * log_h
+    log_a = (2 * d + 3) * log_h
+    log_l = (5 * d ** 2) * log_h
+    log_threshold = (5 * d ** 2 + 2 * d + 4) * log_h
+    r = 2 * (d1 ** d1) * (1 + (2 + d1 ** d1) ** d) * (5 * d ** 2 + 2 * d + 4)
+    log_coarse = r * log_base
+    return {
+        "b": log_b,
+        "h": log_h,
+        "k": log_k,
+        "a": log_a,
+        "l": log_l,
+        "threshold_bound": log_threshold,
+        "coarse_bound": log_coarse,
+    }

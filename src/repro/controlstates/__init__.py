@@ -1,0 +1,41 @@
+"""Petri nets with control-states: paths, cycles, multicycles (paper, Section 7).
+
+This subpackage implements the combinatorial toolbox of Section 7: the
+``(S, T, E)`` model, Parikh images and displacements of paths and multicycles,
+the Euler lemma (7.1), small total cycles (Lemma 7.2) and small multicycles
+obtained through Pottier's algorithm (Lemma 7.3).
+"""
+
+from .cycles import Cycle, Multicycle, Path, parikh_image, path_displacement
+from .euler import euler_lemma, eulerian_cycle_from_parikh, is_balanced
+from .pcs import ControlStatePetriNet, Edge, component_control_net
+from .small_cycles import (
+    SmallMulticycleResult,
+    lemma_7_3_length_bound,
+    lemma_7_3_threshold,
+    simple_cycle_through,
+    small_multicycle,
+    total_cycle,
+    total_cycle_length_bound,
+)
+
+__all__ = [
+    "Edge",
+    "ControlStatePetriNet",
+    "component_control_net",
+    "Path",
+    "Cycle",
+    "Multicycle",
+    "parikh_image",
+    "path_displacement",
+    "euler_lemma",
+    "eulerian_cycle_from_parikh",
+    "is_balanced",
+    "simple_cycle_through",
+    "total_cycle",
+    "total_cycle_length_bound",
+    "lemma_7_3_threshold",
+    "lemma_7_3_length_bound",
+    "small_multicycle",
+    "SmallMulticycleResult",
+]

@@ -1,0 +1,231 @@
+"""Paths, cycles and multicycles of Petri nets with control-states (Section 7).
+
+A *path* from ``s`` to ``s'`` is a word of edges whose control-states chain
+up.  A *cycle* is a path from a control-state to itself; it is *simple* when
+the visited control-states are pairwise distinct, and *total* when its Parikh
+image covers every edge.  A *multicycle* is a finite sequence of cycles, with
+Parikh image and displacement summed over its cycles.
+
+These objects carry the combinatorics of the small-cycle lemmas (7.1–7.3) and
+of the final contradiction argument of Section 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..algebra.vectors import IntVector
+from ..core.transition import Transition
+from .pcs import ControlState, ControlStatePetriNet, Edge
+
+__all__ = ["Path", "Cycle", "Multicycle", "parikh_image", "path_displacement"]
+
+
+def parikh_image(edges: Sequence[Edge]) -> Dict[Edge, int]:
+    """``#pi``: the number of occurrences of each edge in a word of edges."""
+    image: Dict[Edge, int] = {}
+    for edge in edges:
+        image[edge] = image.get(edge, 0) + 1
+    return image
+
+
+def path_displacement(edges: Sequence[Edge]) -> IntVector:
+    """``Delta(pi)``: the summed displacement of the edges of a path."""
+    total = IntVector.zero()
+    for edge in edges:
+        total = total + IntVector(edge.displacement())
+    return total
+
+
+class Path:
+    """A path of a Petri net with control-states: a chaining word of edges."""
+
+    def __init__(self, edges: Sequence[Edge]):
+        edges = tuple(edges)
+        for previous, current in zip(edges, edges[1:]):
+            if previous.target != current.source:
+                raise ValueError(
+                    f"edges do not chain: {previous!r} then {current!r}"
+                )
+        self.edges: Tuple[Edge, ...] = edges
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Optional[ControlState]:
+        """The first control-state (None for the empty path)."""
+        return self.edges[0].source if self.edges else None
+
+    @property
+    def target(self) -> Optional[ControlState]:
+        """The last control-state (None for the empty path)."""
+        return self.edges[-1].target if self.edges else None
+
+    @property
+    def length(self) -> int:
+        """``|pi|``: the number of edges."""
+        return len(self.edges)
+
+    def control_states(self) -> List[ControlState]:
+        """The visited control-states ``s_0, ..., s_k`` in order."""
+        if not self.edges:
+            return []
+        states = [self.edges[0].source]
+        states.extend(edge.target for edge in self.edges)
+        return states
+
+    def transitions(self) -> List[Transition]:
+        """The label of the path: the word of underlying Petri net transitions."""
+        return [edge.transition for edge in self.edges]
+
+    def parikh_image(self) -> Dict[Edge, int]:
+        """``#pi``."""
+        return parikh_image(self.edges)
+
+    def displacement(self) -> IntVector:
+        """``Delta(pi)``."""
+        return path_displacement(self.edges)
+
+    def is_elementary(self) -> bool:
+        """True if no control-state is visited twice (also called a simple path)."""
+        states = self.control_states()
+        return len(states) == len(set(states))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[Edge]:
+        return iter(self.edges)
+
+    def __add__(self, other: "Path") -> "Path":
+        if not self.edges:
+            return other
+        if not other.edges:
+            return self
+        if self.target != other.source:
+            raise ValueError("cannot concatenate paths whose endpoints do not match")
+        return Path(self.edges + other.edges)
+
+    def __repr__(self) -> str:
+        return f"Path(length={self.length}, {self.source!r} -> {self.target!r})"
+
+
+class Cycle(Path):
+    """A cycle: a non-empty path whose source equals its target."""
+
+    def __init__(self, edges: Sequence[Edge]):
+        super().__init__(edges)
+        if not self.edges:
+            raise ValueError("a cycle must contain at least one edge")
+        if self.source != self.target:
+            raise ValueError(
+                f"not a cycle: starts at {self.source!r} and ends at {self.target!r}"
+            )
+
+    def is_simple(self) -> bool:
+        """True if the intermediate control-states ``s_1, ..., s_k`` are distinct."""
+        states = [edge.target for edge in self.edges]
+        return len(states) == len(set(states))
+
+    def is_total(self, net: ControlStatePetriNet) -> bool:
+        """True if every edge of ``net`` occurs at least once in the cycle."""
+        image = self.parikh_image()
+        return all(image.get(edge, 0) > 0 for edge in net.edges)
+
+    def rotate_to(self, control_state: ControlState) -> "Cycle":
+        """Rotate the cycle so that it starts (and ends) at ``control_state``."""
+        states = self.control_states()
+        if control_state not in states[:-1]:
+            raise ValueError(f"control-state {control_state!r} is not on the cycle")
+        pivot = states[:-1].index(control_state)
+        rotated = self.edges[pivot:] + self.edges[:pivot]
+        return Cycle(rotated)
+
+    def power(self, exponent: int) -> "Cycle":
+        """The cycle repeated ``exponent`` times (``exponent >= 1``)."""
+        if exponent < 1:
+            raise ValueError("cycle power requires a positive exponent")
+        return Cycle(self.edges * exponent)
+
+    def decompose_simple(self) -> List["Cycle"]:
+        """Decompose the cycle into simple cycles with the same total Parikh image.
+
+        Standard stack-based extraction: walk the cycle, and whenever a
+        control-state repeats on the stack, pop the enclosed edges as a simple
+        cycle.  The multiset union of the extracted simple cycles' edges is
+        exactly the cycle's edge multiset.
+        """
+        simple_cycles: List[Cycle] = []
+        stack_states: List[ControlState] = [self.edges[0].source]
+        stack_edges: List[Edge] = []
+        for edge in self.edges:
+            stack_edges.append(edge)
+            target = edge.target
+            if target in stack_states:
+                position = stack_states.index(target)
+                count = len(stack_states) - position
+                extracted = stack_edges[-count:]
+                del stack_edges[-count:]
+                del stack_states[position + 1:]
+                simple_cycles.append(Cycle(extracted))
+            else:
+                stack_states.append(target)
+        if stack_edges:
+            # The walk returned to the start, so the stack must be empty here.
+            raise RuntimeError("cycle decomposition left dangling edges")
+        return simple_cycles
+
+    def __repr__(self) -> str:
+        return f"Cycle(length={self.length}, at {self.source!r})"
+
+
+class Multicycle:
+    """A multicycle: a finite sequence of cycles (paper, Section 7)."""
+
+    def __init__(self, cycles: Iterable[Cycle] = ()):
+        self.cycles: Tuple[Cycle, ...] = tuple(cycles)
+
+    @property
+    def length(self) -> int:
+        """``|Theta|``: the summed length of the cycles."""
+        return sum(cycle.length for cycle in self.cycles)
+
+    def parikh_image(self) -> Dict[Edge, int]:
+        """``#Theta``: the summed Parikh image of the cycles."""
+        image: Dict[Edge, int] = {}
+        for cycle in self.cycles:
+            for edge, count in cycle.parikh_image().items():
+                image[edge] = image.get(edge, 0) + count
+        return image
+
+    def displacement(self) -> IntVector:
+        """``Delta(Theta)``: the summed displacement of the cycles."""
+        total = IntVector.zero()
+        for cycle in self.cycles:
+            total = total + cycle.displacement()
+        return total
+
+    def is_total(self, net: ControlStatePetriNet) -> bool:
+        """True if every edge of ``net`` occurs in some cycle of the multicycle."""
+        image = self.parikh_image()
+        return all(image.get(edge, 0) > 0 for edge in net.edges)
+
+    def decompose_simple(self) -> "Multicycle":
+        """The multicycle whose cycles are the simple cycles of this one's cycles."""
+        simple: List[Cycle] = []
+        for cycle in self.cycles:
+            simple.extend(cycle.decompose_simple())
+        return Multicycle(simple)
+
+    def __add__(self, other: "Multicycle") -> "Multicycle":
+        return Multicycle(self.cycles + other.cycles)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def __iter__(self) -> Iterator[Cycle]:
+        return iter(self.cycles)
+
+    def __repr__(self) -> str:
+        return f"Multicycle(cycles={len(self.cycles)}, length={self.length})"

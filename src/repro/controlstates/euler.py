@@ -1,0 +1,144 @@
+"""The Euler lemma for Petri nets with control-states (Lemma 7.1).
+
+Lemma 7.1: for every **total** multicycle ``Theta`` of a **strongly
+connected** Petri net with control-states, there exists a total cycle
+``theta`` with the same Parikh image ``#theta = #Theta``.
+
+The proof is the classical Eulerian-circuit argument: the multigraph whose
+edge multiset is ``#Theta`` is balanced (every control-state has equal in- and
+out-degree, because ``Theta`` is a union of cycles) and connected on the whole
+net (because ``Theta`` is total and the net is strongly connected), so it
+carries an Eulerian circuit — which is precisely a single cycle with the same
+Parikh image.  This module implements that construction with Hierholzer's
+algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from .cycles import Cycle, Multicycle
+from .pcs import ControlState, ControlStatePetriNet, Edge
+
+__all__ = ["eulerian_cycle_from_parikh", "euler_lemma", "is_balanced"]
+
+
+def is_balanced(parikh: Mapping[Edge, int]) -> bool:
+    """True if the edge multiset has equal in- and out-degree at every control-state.
+
+    Every Parikh image of a multicycle is balanced; this is the necessary
+    condition for an Eulerian circuit.
+    """
+    balance: Dict[ControlState, int] = {}
+    for edge, count in parikh.items():
+        if count < 0:
+            raise ValueError("Parikh images must be non-negative")
+        balance[edge.source] = balance.get(edge.source, 0) + count
+        balance[edge.target] = balance.get(edge.target, 0) - count
+    return all(value == 0 for value in balance.values())
+
+
+def eulerian_cycle_from_parikh(
+    parikh: Mapping[Edge, int], start: Optional[ControlState] = None
+) -> Cycle:
+    """Build a single cycle whose Parikh image is exactly ``parikh``.
+
+    Requires the multiset to be balanced and its support to be connected (as
+    an undirected multigraph restricted to control-states with incident
+    edges); both hold in the setting of Lemma 7.1.  Hierholzer's algorithm is
+    used: repeatedly walk unused edges until returning to the start, splicing
+    sub-tours into the main tour.
+
+    Parameters
+    ----------
+    parikh:
+        The desired edge multiset (must be balanced, non-empty, connected).
+    start:
+        Optional control-state to start the cycle at; must have an outgoing
+        edge in the multiset.
+    """
+    positive = {edge: count for edge, count in parikh.items() if count > 0}
+    if not positive:
+        raise ValueError("cannot build a cycle from an empty Parikh image")
+    if not is_balanced(positive):
+        raise ValueError("the Parikh image is not balanced; it is not a union of cycles")
+
+    remaining: Dict[Edge, int] = dict(positive)
+    outgoing: Dict[ControlState, List[Edge]] = {}
+    for edge in positive:
+        outgoing.setdefault(edge.source, []).append(edge)
+
+    if start is None:
+        start = next(iter(positive)).source
+    if start not in outgoing:
+        raise ValueError(f"start control-state {start!r} has no outgoing edge in the multiset")
+
+    # Hierholzer: tour is a list of edges; we insert sub-tours in place.
+    tour: List[Edge] = _walk_tour(start, remaining, outgoing)
+    # Keep splicing while unused edges remain.
+    while any(count > 0 for count in remaining.values()):
+        # Find a position on the current tour whose control-state still has
+        # unused outgoing edges; connectivity guarantees one exists.
+        insert_at = None
+        for index, edge in enumerate(tour):
+            state = edge.source
+            if _has_unused(state, remaining, outgoing):
+                insert_at = index
+                break
+        if insert_at is None:
+            raise ValueError(
+                "the Parikh image is not connected: leftover edges cannot be spliced"
+            )
+        state = tour[insert_at].source
+        sub_tour = _walk_tour(state, remaining, outgoing)
+        tour = tour[:insert_at] + sub_tour + tour[insert_at:]
+    return Cycle(tour)
+
+
+def _has_unused(
+    state: ControlState,
+    remaining: Mapping[Edge, int],
+    outgoing: Mapping[ControlState, List[Edge]],
+) -> bool:
+    return any(remaining[edge] > 0 for edge in outgoing.get(state, ()))
+
+
+def _walk_tour(
+    start: ControlState,
+    remaining: Dict[Edge, int],
+    outgoing: Mapping[ControlState, List[Edge]],
+) -> List[Edge]:
+    """Greedily walk unused edges from ``start`` until stuck (back at ``start`` if balanced)."""
+    tour: List[Edge] = []
+    current = start
+    while True:
+        next_edge = None
+        for edge in outgoing.get(current, ()):
+            if remaining[edge] > 0:
+                next_edge = edge
+                break
+        if next_edge is None:
+            break
+        remaining[next_edge] -= 1
+        tour.append(next_edge)
+        current = next_edge.target
+    if current != start:
+        raise ValueError("walk did not return to its start: the multiset is not balanced")
+    return tour
+
+
+def euler_lemma(net: ControlStatePetriNet, multicycle: Multicycle) -> Cycle:
+    """Lemma 7.1: from a total multicycle, build a total cycle with the same Parikh image.
+
+    Raises
+    ------
+    ValueError
+        If the net is not strongly connected or the multicycle is not total —
+        the hypotheses of the lemma.
+    """
+    if not net.is_strongly_connected():
+        raise ValueError("Euler lemma requires a strongly connected net")
+    if not multicycle.is_total(net):
+        raise ValueError("Euler lemma requires a total multicycle")
+    cycle = eulerian_cycle_from_parikh(multicycle.parikh_image())
+    return cycle

@@ -1,0 +1,308 @@
+"""Small total cycles and small multicycles (Lemmas 7.2 and 7.3).
+
+* **Lemma 7.2** — every strongly connected Petri net with control-states has a
+  *total* cycle (one that uses every edge) of length at most ``|E| |S|``.
+  The construction follows the paper: pick, for every edge, a short cycle
+  through that edge (the edge followed by an elementary return path); the
+  resulting multicycle is total, and the Euler lemma (7.1) merges it into a
+  single total cycle with the same Parikh image.
+
+* **Lemma 7.3** — given a multicycle ``Theta`` and a set ``Q`` of places, there
+  is a *small* multicycle ``Theta'`` whose displacement has the same signs as
+  ``Delta(Theta)`` (strictly, on places where ``|Delta(Theta)|`` is large), is
+  zero on ``Q``, and that still uses every edge used at least ``k`` times by
+  ``Theta``.  The construction solves the sign-split homogeneous system of
+  Section 7 with Pottier's algorithm and recombines small minimal solutions.
+
+Implementation note (documented substitution): the paper's system uses one
+variable per *displacement of a simple cycle*; we use one variable per
+*distinct simple cycle* occurring in ``Theta``.  This is a refinement (several
+cycles may share a displacement) that keeps every property of the lemma
+checkable on the constructed object — in particular ``#Theta'(e) > 0`` can be
+evaluated directly because each beta-variable corresponds to a concrete cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..algebra.linear_systems import SignSystem, SignSystemSolution
+from ..algebra.vectors import IntVector
+from ..core.configuration import State
+from .cycles import Cycle, Multicycle, Path
+from .euler import euler_lemma
+from .pcs import ControlState, ControlStatePetriNet, Edge
+
+__all__ = [
+    "simple_cycle_through",
+    "total_cycle",
+    "total_cycle_length_bound",
+    "lemma_7_3_threshold",
+    "lemma_7_3_length_bound",
+    "small_multicycle",
+    "SmallMulticycleResult",
+]
+
+
+# ----------------------------------------------------------------------
+# Lemma 7.2: small total cycles
+# ----------------------------------------------------------------------
+def simple_cycle_through(net: ControlStatePetriNet, edge: Edge) -> Cycle:
+    """A short cycle through ``edge``: the edge followed by a shortest return path.
+
+    The return path is elementary (shortest paths are), so the cycle has
+    length at most ``|S|``.
+    """
+    return_path = net.find_path(edge.target, edge.source)
+    if return_path is None:
+        raise ValueError(
+            f"no return path from {edge.target!r} to {edge.source!r}: net is not strongly connected"
+        )
+    return Cycle([edge] + return_path)
+
+
+def total_cycle_length_bound(net: ControlStatePetriNet) -> int:
+    """The Lemma 7.2 bound ``|E| |S|`` on the length of the constructed total cycle."""
+    return net.num_edges * net.num_control_states
+
+
+def total_cycle(net: ControlStatePetriNet) -> Cycle:
+    """Lemma 7.2: a total cycle of length at most ``|E| |S|``.
+
+    Raises
+    ------
+    ValueError
+        If the net is not strongly connected or has no edge.
+    """
+    if not net.edges:
+        raise ValueError("a total cycle requires at least one edge")
+    if not net.is_strongly_connected():
+        raise ValueError("Lemma 7.2 requires a strongly connected net")
+    per_edge_cycles = [simple_cycle_through(net, edge) for edge in net.edges]
+    multicycle = Multicycle(per_edge_cycles)
+    cycle = euler_lemma(net, multicycle)
+    return cycle
+
+
+# ----------------------------------------------------------------------
+# Lemma 7.3: small multicycles
+# ----------------------------------------------------------------------
+def lemma_7_3_threshold(
+    net: ControlStatePetriNet,
+    multicycle: Multicycle,
+    zero_places: Iterable[State],
+    num_places: int,
+) -> int:
+    """The threshold ``k`` of Lemma 7.3.
+
+    ``k`` must exceed ``||Delta(Theta)|_Q||_1 * (1 + 2 |S| ||T||_inf)^{d(d+1)}``;
+    this helper returns that value plus one.
+    """
+    zero_places = set(zero_places)
+    displacement = multicycle.displacement().restrict(zero_places)
+    base = 1 + 2 * net.num_control_states * max(net.net.max_value, 1)
+    return displacement.norm1 * base ** (num_places * (num_places + 1)) + 1
+
+
+def lemma_7_3_length_bound(net: ControlStatePetriNet, num_places: int) -> int:
+    """The Lemma 7.3 bound ``(|E| + d)(1 + 2 |S| ||T||_inf)^{d(d+1)}`` on ``|Theta'|``."""
+    base = 1 + 2 * net.num_control_states * max(net.net.max_value, 1)
+    return (net.num_edges + num_places) * base ** (num_places * (num_places + 1))
+
+
+class SmallMulticycleResult:
+    """The output of :func:`small_multicycle`.
+
+    Attributes
+    ----------
+    multicycle:
+        The small multicycle ``Theta'``.
+    solution:
+        The sign-system solution it was assembled from.
+    basis_size:
+        The number of minimal solutions of the sign system (diagnostic).
+    """
+
+    def __init__(
+        self,
+        multicycle: Multicycle,
+        solution: SignSystemSolution,
+        basis_size: int,
+    ):
+        self.multicycle = multicycle
+        self.solution = solution
+        self.basis_size = basis_size
+
+    def __repr__(self) -> str:
+        return (
+            f"SmallMulticycleResult(length={self.multicycle.length}, "
+            f"basis_size={self.basis_size})"
+        )
+
+
+def small_multicycle(
+    net: ControlStatePetriNet,
+    multicycle: Multicycle,
+    zero_places: Iterable[State],
+    threshold: Optional[int] = None,
+    places: Optional[Iterable[State]] = None,
+) -> SmallMulticycleResult:
+    """Lemma 7.3: build a small multicycle ``Theta'`` from ``Theta``.
+
+    Guarantees on the returned multicycle (checked by the test suite):
+
+    * sign preservation — for every place ``p``,
+      ``Delta(Theta')(p) <= 0`` whenever ``Delta(Theta)(p) <= 0`` and
+      ``Delta(Theta')(p) >= 0`` whenever ``Delta(Theta)(p) >= 0``;
+      strictly negative (resp. positive) whenever ``Delta(Theta)(p)`` is below
+      ``-threshold`` (resp. above ``threshold``),
+    * ``Delta(Theta')(q) = 0`` for every ``q`` in ``zero_places``,
+    * every edge used at least ``threshold`` times by ``Theta`` is used by
+      ``Theta'``,
+    * the cycles of ``Theta'`` are simple cycles of ``Theta``.
+
+    Parameters
+    ----------
+    net:
+        The Petri net with control-states hosting the multicycle.
+    multicycle:
+        The (possibly huge) multicycle ``Theta``.
+    zero_places:
+        The set ``Q`` of places whose ``Theta'`` displacement must vanish.
+    threshold:
+        The value ``k``; defaults to :func:`lemma_7_3_threshold`.
+    places:
+        The place universe ``P``; defaults to the states of the underlying
+        Petri net.
+    """
+    place_list: Tuple[State, ...] = tuple(places if places is not None else net.net.states)
+    zero_set: Set[State] = set(zero_places)
+    if threshold is None:
+        threshold = lemma_7_3_threshold(net, multicycle, zero_set, len(place_list))
+    if threshold < 1:
+        raise ValueError("the Lemma 7.3 threshold must be positive")
+
+    simple = multicycle.decompose_simple()
+    if not simple.cycles:
+        raise ValueError("Lemma 7.3 requires a non-empty multicycle")
+
+    # Group identical simple cycles (same edge sequence up to rotation would be
+    # finer; exact equality of edge tuples is enough for correctness).
+    cycle_keys: Dict[Tuple[Edge, ...], Cycle] = {}
+    multiplicities: Dict[Tuple[Edge, ...], int] = {}
+    for cycle in simple.cycles:
+        key = cycle.edges
+        cycle_keys.setdefault(key, cycle)
+        multiplicities[key] = multiplicities.get(key, 0) + 1
+
+    displacement = multicycle.displacement()
+    signs = {
+        place: (1 if displacement[place] >= 0 else -1) for place in place_list
+    }
+    actions = {key: cycle.displacement() for key, cycle in cycle_keys.items()}
+    system = SignSystem(place_list, actions, signs)
+
+    canonical = system.solution_from_multicycle(
+        displacement.restrict(place_list), multiplicities
+    )
+    if not system.is_solution(canonical):
+        raise RuntimeError("the canonical multicycle solution does not satisfy the sign system")
+
+    minimal = system.minimal_solutions()
+    parts = system.decompose(canonical)
+
+    # H_0: minimal parts whose alpha vanishes on the zero places.
+    def in_h0(part: SignSystemSolution) -> bool:
+        return all(part.alpha[place] == 0 for place in zero_set)
+
+    # Pick, for every edge used >= threshold times, a part of H_0 using it, and
+    # for every place with |Delta(Theta)(p)| >= threshold, a part of H_0 with
+    # alpha(p) > 0.  The counting argument of the paper guarantees existence;
+    # we simply search the decomposition.
+    chosen: List[SignSystemSolution] = []
+
+    def edge_usage(part: SignSystemSolution) -> Dict[Edge, int]:
+        usage: Dict[Edge, int] = {}
+        for key, count in part.beta.items():
+            if count <= 0:
+                continue
+            for edge, occurrences in cycle_keys[key].parikh_image().items():
+                usage[edge] = usage.get(edge, 0) + count * occurrences
+        return usage
+
+    theta_parikh = multicycle.parikh_image()
+    heavy_edges = [edge for edge, count in theta_parikh.items() if count >= threshold]
+    for edge in heavy_edges:
+        part = _find_part(parts, in_h0, lambda p: edge_usage(p).get(edge, 0) > 0)
+        if part is None:
+            raise RuntimeError(
+                f"Lemma 7.3 counting argument failed for edge {edge!r}: "
+                "threshold too small for this instance"
+            )
+        chosen.append(part)
+
+    heavy_places = [
+        place for place in place_list if abs(displacement[place]) >= threshold
+    ]
+    for place in heavy_places:
+        part = _find_part(parts, in_h0, lambda p: p.alpha[place] > 0)
+        if part is None:
+            raise RuntimeError(
+                f"Lemma 7.3 counting argument failed for place {place!r}: "
+                "threshold too small for this instance"
+            )
+        chosen.append(part)
+
+    if not chosen:
+        # Degenerate but allowed: nothing is heavy; the empty multicycle works.
+        combined = SignSystemSolution(IntVector.zero(), IntVector.zero())
+    else:
+        combined = chosen[0]
+        for part in chosen[1:]:
+            combined = combined + part
+
+    cycles: List[Cycle] = []
+    for key, count in combined.beta.items():
+        for _ in range(count):
+            cycles.append(cycle_keys[key])
+    result = Multicycle(cycles)
+
+    _check_small_multicycle(result, displacement, zero_set, place_list, threshold, theta_parikh)
+    return SmallMulticycleResult(result, combined, len(minimal))
+
+
+def _find_part(parts, in_h0, predicate) -> Optional[SignSystemSolution]:
+    for part in parts:
+        if in_h0(part) and predicate(part):
+            return part
+    return None
+
+
+def _check_small_multicycle(
+    result: Multicycle,
+    displacement: IntVector,
+    zero_set: Set[State],
+    place_list: Sequence[State],
+    threshold: int,
+    theta_parikh: Mapping[Edge, int],
+) -> None:
+    """Internal sanity check of the Lemma 7.3 guarantees (cheap, always on)."""
+    new_displacement = result.displacement()
+    for place in place_list:
+        original = displacement[place]
+        new = new_displacement[place]
+        if original <= 0 and new > 0:
+            raise RuntimeError(f"sign violation on place {place!r}: {original} vs {new}")
+        if original >= 0 and new < 0:
+            raise RuntimeError(f"sign violation on place {place!r}: {original} vs {new}")
+        if original <= -threshold and new >= 0:
+            raise RuntimeError(f"strict sign violation on place {place!r}")
+        if original >= threshold and new <= 0:
+            raise RuntimeError(f"strict sign violation on place {place!r}")
+    for place in zero_set:
+        if new_displacement[place] != 0:
+            raise RuntimeError(f"zero-place violation on {place!r}")
+    new_parikh = result.parikh_image()
+    for edge, count in theta_parikh.items():
+        if count >= threshold and new_parikh.get(edge, 0) <= 0:
+            raise RuntimeError(f"heavy edge {edge!r} is not used by the small multicycle")

@@ -1,0 +1,342 @@
+"""Configurations of population protocols and Petri nets.
+
+A *configuration* over a finite set of states ``P`` is a mapping ``P -> N``
+(paper, Section 2).  It records how many agents (or tokens) occupy each state.
+Configurations are the fundamental data structure of this library: Petri net
+markings, protocol populations, displacements-restricted-to-nonnegatives and
+leader configurations are all configurations.
+
+The implementation is a sparse, immutable, hashable multiset.  States may be
+any hashable value (strings in practice).  Zero entries are never stored, so
+two configurations that agree on their supports compare and hash equal even if
+they were built over different universes of states.
+
+Notation mapping to the paper:
+
+===========================  =====================================
+Paper                        This module
+===========================  =====================================
+``|rho|``                    :meth:`Configuration.size`
+``||rho||_inf``              :meth:`Configuration.max_value`
+``rho|_Q``                   :meth:`Configuration.restrict`
+``p`` (unit configuration)   :func:`unit`
+``alpha + beta``             ``alpha + beta``
+``n . rho``                  ``n * rho`` / ``rho * n``
+``alpha <= beta``            ``alpha <= beta`` (component-wise order)
+===========================  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+State = Hashable
+
+__all__ = [
+    "State",
+    "Configuration",
+    "unit",
+    "zero",
+    "from_counts",
+    "from_sequence",
+]
+
+
+class Configuration:
+    """An immutable multiset of states: a mapping ``P -> N``.
+
+    Only strictly positive counts are stored.  Instances are hashable and can
+    be used as keys of dictionaries and members of sets, which the
+    reachability-exploration code relies on heavily.
+
+    Parameters
+    ----------
+    counts:
+        A mapping from states to non-negative integers.  Zero entries are
+        dropped; negative entries raise :class:`ValueError`.
+    """
+
+    __slots__ = ("_counts", "_hash", "_size")
+
+    def __init__(self, counts: Optional[Mapping[State, int]] = None):
+        clean: Dict[State, int] = {}
+        if counts:
+            for state, count in counts.items():
+                if count < 0:
+                    raise ValueError(
+                        f"configuration counts must be non-negative, got {state!r}: {count}"
+                    )
+                if count > 0:
+                    clean[state] = int(count)
+        self._counts: Dict[State, int] = clean
+        self._hash: Optional[int] = None
+        self._size: int = sum(clean.values())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "Configuration":
+        """The empty configuration (no agents)."""
+        return _ZERO
+
+    @staticmethod
+    def unit(state: State) -> "Configuration":
+        """The configuration mapping ``state`` to 1 and every other state to 0."""
+        return Configuration({state: 1})
+
+    @staticmethod
+    def from_sequence(states: Iterable[State]) -> "Configuration":
+        """Build a configuration by counting occurrences in ``states``."""
+        counts: Dict[State, int] = {}
+        for state in states:
+            counts[state] = counts.get(state, 0) + 1
+        return Configuration(counts)
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, state: State) -> int:
+        return self._counts.get(state, 0)
+
+    def get(self, state: State, default: int = 0) -> int:
+        """Return the count of ``state`` (``default`` if absent)."""
+        return self._counts.get(state, default)
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._counts
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        """Number of distinct states with a positive count (the support size)."""
+        return len(self._counts)
+
+    def items(self) -> Iterable[Tuple[State, int]]:
+        """Iterate over ``(state, count)`` pairs with positive counts."""
+        return self._counts.items()
+
+    def keys(self) -> Iterable[State]:
+        """Iterate over states with positive counts (the support)."""
+        return self._counts.keys()
+
+    def values(self) -> Iterable[int]:
+        """Iterate over the positive counts."""
+        return self._counts.values()
+
+    @property
+    def support(self) -> frozenset:
+        """The set of states with a strictly positive count."""
+        return frozenset(self._counts)
+
+    def to_dict(self) -> Dict[State, int]:
+        """Return a fresh plain ``dict`` copy of the positive counts."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|rho|``: the total number of agents, i.e. the sum of all counts."""
+        return self._size
+
+    @property
+    def max_value(self) -> int:
+        """``||rho||_inf``: the largest count (0 for the zero configuration)."""
+        if not self._counts:
+            return 0
+        return max(self._counts.values())
+
+    def is_zero(self) -> bool:
+        """Return True if this is the zero configuration."""
+        return not self._counts
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Configuration") -> "Configuration":
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        counts = dict(self._counts)
+        for state, count in other._counts.items():
+            counts[state] = counts.get(state, 0) + count
+        return Configuration(counts)
+
+    def __sub__(self, other: "Configuration") -> "Configuration":
+        """Component-wise difference; raises if the result would be negative."""
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        counts = dict(self._counts)
+        for state, count in other._counts.items():
+            new = counts.get(state, 0) - count
+            if new < 0:
+                raise ValueError(
+                    f"cannot subtract: state {state!r} would become negative ({new})"
+                )
+            if new == 0:
+                counts.pop(state, None)
+            else:
+                counts[state] = new
+        return Configuration(counts)
+
+    def saturating_sub(self, other: "Configuration") -> "Configuration":
+        """Component-wise difference truncated at zero (never raises)."""
+        counts = {}
+        for state, count in self._counts.items():
+            new = count - other[state]
+            if new > 0:
+                counts[state] = new
+        return Configuration(counts)
+
+    def __mul__(self, scalar: int) -> "Configuration":
+        if not isinstance(scalar, int):
+            return NotImplemented
+        if scalar < 0:
+            raise ValueError("cannot multiply a configuration by a negative scalar")
+        if scalar == 0:
+            return _ZERO
+        return Configuration({state: count * scalar for state, count in self._counts.items()})
+
+    def __rmul__(self, scalar: int) -> "Configuration":
+        return self.__mul__(scalar)
+
+    # ------------------------------------------------------------------
+    # Order
+    # ------------------------------------------------------------------
+    def __le__(self, other: "Configuration") -> bool:
+        """Component-wise order: ``alpha <= beta`` iff ``beta = alpha + rho`` for some rho."""
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return all(count <= other[state] for state, count in self._counts.items())
+
+    def __lt__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self <= other and self != other
+
+    def __ge__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return other <= self
+
+    def __gt__(self, other: "Configuration") -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return other < self
+
+    def covers(self, other: "Configuration") -> bool:
+        """Return True if ``self >= other`` component-wise (coverability order)."""
+        return other <= self
+
+    # ------------------------------------------------------------------
+    # Restriction (paper: ``rho|_Q``)
+    # ------------------------------------------------------------------
+    def restrict(self, states: Iterable[State]) -> "Configuration":
+        """``rho|_Q``: keep only the counts of states in ``states``.
+
+        Per the paper, ``Q`` need not be a subset of the support; missing
+        states simply contribute zero.
+        """
+        wanted = set(states)
+        return Configuration(
+            {state: count for state, count in self._counts.items() if state in wanted}
+        )
+
+    def erase(self, states: Iterable[State]) -> "Configuration":
+        """Drop the counts of every state in ``states`` (complement of restrict)."""
+        unwanted = set(states)
+        return Configuration(
+            {state: count for state, count in self._counts.items() if state not in unwanted}
+        )
+
+    def agrees_on(self, other: "Configuration", states: Iterable[State]) -> bool:
+        """Return True if ``self`` and ``other`` have the same counts on ``states``."""
+        return all(self[state] == other[state] for state in states)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def set(self, state: State, count: int) -> "Configuration":
+        """Return a copy with the count of ``state`` replaced by ``count``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        counts = dict(self._counts)
+        if count == 0:
+            counts.pop(state, None)
+        else:
+            counts[state] = count
+        return Configuration(counts)
+
+    def add(self, state: State, count: int = 1) -> "Configuration":
+        """Return a copy with ``count`` more agents in ``state``."""
+        return self.set(state, self[state] + count)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._counts.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __repr__(self) -> str:
+        if not self._counts:
+            return "Configuration({})"
+        try:
+            entries = sorted(self._counts.items(), key=lambda item: str(item[0]))
+        except TypeError:
+            entries = list(self._counts.items())
+        inner = ", ".join(f"{state!r}: {count}" for state, count in entries)
+        return f"Configuration({{{inner}}})"
+
+    def pretty(self) -> str:
+        """Human-readable rendering such as ``2.i + 3.p`` (paper notation)."""
+        if not self._counts:
+            return "0"
+        try:
+            entries = sorted(self._counts.items(), key=lambda item: str(item[0]))
+        except TypeError:
+            entries = list(self._counts.items())
+        parts = []
+        for state, count in entries:
+            if count == 1:
+                parts.append(f"{state}")
+            else:
+                parts.append(f"{count}.{state}")
+        return " + ".join(parts)
+
+
+_ZERO = Configuration({})
+
+
+def unit(state: State) -> Configuration:
+    """The configuration with a single agent in ``state`` (paper: ``p``)."""
+    return Configuration.unit(state)
+
+
+def zero() -> Configuration:
+    """The zero configuration."""
+    return _ZERO
+
+
+def from_counts(**counts: int) -> Configuration:
+    """Convenience constructor from keyword arguments: ``from_counts(i=3, p=1)``."""
+    return Configuration(counts)
+
+
+def from_sequence(states: Iterable[State]) -> Configuration:
+    """Build a configuration by counting occurrences in an iterable of states."""
+    return Configuration.from_sequence(states)

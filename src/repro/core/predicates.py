@@ -1,0 +1,255 @@
+"""Predicates over initial configurations.
+
+A *predicate* (paper, Section 2) is a mapping ``phi : N^I -> {0, 1}`` where
+``I`` is the set of initial states of a protocol.  The paper focuses on the
+*counting predicates* ``(i >= n)``: the predicate over ``I = {i}`` that maps a
+configuration ``rho`` to 1 exactly when ``rho(i) >= n``.
+
+Beyond counting predicates, this module implements the standard Presburger
+building blocks used by the baseline constructions and the extended examples:
+linear threshold predicates, modulo (remainder) predicates, and boolean
+combinations.  All of them are stably computable by population protocols
+(Angluin et al. 2006), and the protocol constructions in
+:mod:`repro.protocols` produce protocols for them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from .configuration import Configuration, State
+
+__all__ = [
+    "Predicate",
+    "CountingPredicate",
+    "ThresholdPredicate",
+    "ModuloPredicate",
+    "NotPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "ConstantPredicate",
+    "counting",
+]
+
+
+class Predicate(abc.ABC):
+    """A boolean predicate over configurations of initial states."""
+
+    @property
+    @abc.abstractmethod
+    def initial_states(self) -> FrozenSet[State]:
+        """The set ``I`` of initial states the predicate reads."""
+
+    @abc.abstractmethod
+    def evaluate(self, configuration: Configuration) -> int:
+        """Evaluate the predicate; returns 0 or 1."""
+
+    def __call__(self, configuration: Configuration) -> int:
+        return self.evaluate(configuration)
+
+    # ------------------------------------------------------------------
+    # Boolean combinators
+    # ------------------------------------------------------------------
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return OrPredicate(self, other)
+
+    # ------------------------------------------------------------------
+    # Enumeration helpers (used by verification on bounded populations)
+    # ------------------------------------------------------------------
+    def enumerate_inputs(self, max_agents: int) -> Iterable[Configuration]:
+        """Enumerate all input configurations with at most ``max_agents`` agents."""
+        states = sorted(self.initial_states, key=str)
+        yield from _enumerate_configurations(states, max_agents)
+
+
+def _enumerate_configurations(
+    states: Sequence[State], max_agents: int
+) -> Iterable[Configuration]:
+    """All configurations over ``states`` of size at most ``max_agents``."""
+    if not states:
+        yield Configuration.zero()
+        return
+
+    def recurse(index: int, remaining: int, current: Dict[State, int]):
+        if index == len(states):
+            yield Configuration(current)
+            return
+        state = states[index]
+        for count in range(remaining + 1):
+            if count:
+                current[state] = count
+            yield from recurse(index + 1, remaining - count, current)
+            current.pop(state, None)
+
+    yield from recurse(0, max_agents, {})
+
+
+class CountingPredicate(Predicate):
+    """The counting predicate ``(i >= n)`` of the paper (Section 4).
+
+    ``I = {i}`` and ``phi(rho) = 1`` iff ``rho(i) >= n``.
+    """
+
+    def __init__(self, state: State, threshold: int):
+        if threshold < 1:
+            raise ValueError("counting predicates require a positive threshold n >= 1")
+        self.state = state
+        self.threshold = threshold
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        return frozenset({self.state})
+
+    def evaluate(self, configuration: Configuration) -> int:
+        return 1 if configuration[self.state] >= self.threshold else 0
+
+    def __repr__(self) -> str:
+        return f"CountingPredicate({self.state!r} >= {self.threshold})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountingPredicate):
+            return NotImplemented
+        return self.state == other.state and self.threshold == other.threshold
+
+    def __hash__(self) -> int:
+        return hash(("counting", self.state, self.threshold))
+
+
+class ThresholdPredicate(Predicate):
+    """A linear threshold predicate ``sum_i a_i * x_i >= c``.
+
+    The coefficients ``a_i`` may be negative; this is the general Presburger
+    atom used by the succinct constructions of Blondin, Esparza & Jaax.
+    """
+
+    def __init__(self, coefficients: Mapping[State, int], constant: int):
+        self.coefficients: Dict[State, int] = dict(coefficients)
+        self.constant = constant
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        return frozenset(self.coefficients)
+
+    def evaluate(self, configuration: Configuration) -> int:
+        total = sum(
+            coefficient * configuration[state]
+            for state, coefficient in self.coefficients.items()
+        )
+        return 1 if total >= self.constant else 0
+
+    def __repr__(self) -> str:
+        terms = " + ".join(
+            f"{coefficient}*{state}" for state, coefficient in sorted(
+                self.coefficients.items(), key=lambda item: str(item[0])
+            )
+        )
+        return f"ThresholdPredicate({terms} >= {self.constant})"
+
+
+class ModuloPredicate(Predicate):
+    """A remainder predicate ``sum_i a_i * x_i = r (mod m)``."""
+
+    def __init__(self, coefficients: Mapping[State, int], modulus: int, remainder: int):
+        if modulus < 2:
+            raise ValueError("modulus must be at least 2")
+        self.coefficients: Dict[State, int] = dict(coefficients)
+        self.modulus = modulus
+        self.remainder = remainder % modulus
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        return frozenset(self.coefficients)
+
+    def evaluate(self, configuration: Configuration) -> int:
+        total = sum(
+            coefficient * configuration[state]
+            for state, coefficient in self.coefficients.items()
+        )
+        return 1 if total % self.modulus == self.remainder else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ModuloPredicate(sum == {self.remainder} mod {self.modulus}, "
+            f"coefficients={self.coefficients})"
+        )
+
+
+class ConstantPredicate(Predicate):
+    """A predicate with a constant truth value over a given set of initial states."""
+
+    def __init__(self, value: int, initial_states: Iterable[State] = ()):
+        if value not in (0, 1):
+            raise ValueError("constant predicates take the value 0 or 1")
+        self.value = value
+        self._initial_states = frozenset(initial_states)
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        return self._initial_states
+
+    def evaluate(self, configuration: Configuration) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantPredicate({self.value})"
+
+
+class NotPredicate(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        return self.inner.initial_states
+
+    def evaluate(self, configuration: Configuration) -> int:
+        return 1 - self.inner.evaluate(configuration)
+
+    def __repr__(self) -> str:
+        return f"NotPredicate({self.inner!r})"
+
+
+class _BinaryPredicate(Predicate):
+    """Shared plumbing for binary boolean combinations."""
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+
+    @property
+    def initial_states(self) -> FrozenSet[State]:
+        return self.left.initial_states | self.right.initial_states
+
+
+class AndPredicate(_BinaryPredicate):
+    """Conjunction of two predicates."""
+
+    def evaluate(self, configuration: Configuration) -> int:
+        return self.left.evaluate(configuration) & self.right.evaluate(configuration)
+
+    def __repr__(self) -> str:
+        return f"AndPredicate({self.left!r}, {self.right!r})"
+
+
+class OrPredicate(_BinaryPredicate):
+    """Disjunction of two predicates."""
+
+    def evaluate(self, configuration: Configuration) -> int:
+        return self.left.evaluate(configuration) | self.right.evaluate(configuration)
+
+    def __repr__(self) -> str:
+        return f"OrPredicate({self.left!r}, {self.right!r})"
+
+
+def counting(state: State, threshold: int) -> CountingPredicate:
+    """Shorthand for :class:`CountingPredicate`: the paper's ``(i >= n)``."""
+    return CountingPredicate(state, threshold)

@@ -1,0 +1,226 @@
+"""Population protocols with leaders (paper, Section 2).
+
+A *protocol* is a tuple ``(P, -->*, rho_L, I, gamma)`` where
+
+* ``P`` is a finite set of states,
+* ``-->*`` is an additive preorder on ``P``-configurations,
+* ``rho_L`` is a configuration called the *configuration of leaders*,
+* ``I subseteq P`` is the set of initial states,
+* ``gamma : P -> {0, *, 1}`` is the output function.
+
+The *initial configurations* are ``rho_L + rho|_P`` for ``rho in N^I``.  A
+protocol *stably computes* a predicate ``phi`` if from every configuration
+reachable from an initial configuration ``rho_L + rho|_P``, a
+``phi(rho)``-output-stable configuration remains reachable (see
+:mod:`repro.core.semantics` for output-stable sets).
+
+This module defines the :class:`Protocol` dataclass-like container together
+with the output alphabet.  The concrete preorder is usually a
+:class:`~repro.core.preorder.PetriNetPreorder`; the convenience constructor
+:meth:`Protocol.from_petri_net` builds a protocol directly from a Petri net.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Union
+
+from .configuration import Configuration, State
+from .petrinet import PetriNet
+from .preorder import AdditivePreorder, PetriNetPreorder
+
+__all__ = [
+    "OUTPUT_ZERO",
+    "OUTPUT_ONE",
+    "OUTPUT_UNDEFINED",
+    "Output",
+    "Protocol",
+]
+
+# Output alphabet {0, *, 1} of the paper.
+OUTPUT_ZERO = 0
+OUTPUT_ONE = 1
+OUTPUT_UNDEFINED = "*"
+
+Output = Union[int, str]
+
+_VALID_OUTPUTS = {OUTPUT_ZERO, OUTPUT_ONE, OUTPUT_UNDEFINED}
+
+
+class Protocol:
+    """A population protocol with leaders ``(P, -->*, rho_L, I, gamma)``.
+
+    Parameters
+    ----------
+    states:
+        The finite set ``P``.
+    preorder:
+        The additive preorder ``-->*`` (usually a Petri-net reachability
+        relation).
+    leaders:
+        The leader configuration ``rho_L``; its support must be included in
+        ``P``.
+    initial_states:
+        The set ``I`` of initial states.  Per the paper ``I`` need not be a
+        subset of ``P`` as a type, but initial agents are injected via
+        ``rho|_P`` so only states of ``P`` matter.
+    output:
+        The output function ``gamma`` as a mapping ``P -> {0, '*', 1}``.
+    name:
+        Optional label for reporting.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        preorder: AdditivePreorder,
+        leaders: Configuration,
+        initial_states: Iterable[State],
+        output: Mapping[State, Output],
+        name: Optional[str] = None,
+    ):
+        self.states: FrozenSet[State] = frozenset(states)
+        if not self.states:
+            raise ValueError("a protocol needs at least one state")
+        self.preorder = preorder
+        self.leaders = leaders
+        self.initial_states: FrozenSet[State] = frozenset(initial_states)
+        self.output: Dict[State, Output] = dict(output)
+        self.name = name
+
+        unknown_leaders = set(leaders.support) - set(self.states)
+        if unknown_leaders:
+            raise ValueError(f"leader states not in P: {sorted(map(str, unknown_leaders))}")
+        missing_outputs = set(self.states) - set(self.output)
+        if missing_outputs:
+            raise ValueError(
+                f"output function is missing states: {sorted(map(str, missing_outputs))}"
+            )
+        bad_outputs = {
+            state: value for state, value in self.output.items() if value not in _VALID_OUTPUTS
+        }
+        if bad_outputs:
+            raise ValueError(f"invalid output values: {bad_outputs}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_petri_net(
+        cls,
+        net: PetriNet,
+        leaders: Configuration,
+        initial_states: Iterable[State],
+        output: Mapping[State, Output],
+        name: Optional[str] = None,
+        extra_states: Iterable[State] = (),
+    ) -> "Protocol":
+        """Build a protocol whose preorder is the reachability relation of ``net``."""
+        states = set(net.states) | set(extra_states) | set(leaders.support) | set(output)
+        return cls(
+            states=states,
+            preorder=PetriNetPreorder(net),
+            leaders=leaders,
+            initial_states=initial_states,
+            output=output,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Measures used by the bounds (Theorem 4.3)
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """``|P|``: the number of states of the protocol."""
+        return len(self.states)
+
+    @property
+    def num_leaders(self) -> int:
+        """``|rho_L|``: the number of leader agents."""
+        return self.leaders.size
+
+    @property
+    def width(self) -> Optional[int]:
+        """The interaction-width of the protocol's preorder (None = unbounded)."""
+        return self.preorder.width
+
+    def is_leaderless(self) -> bool:
+        """True if the protocol has no leaders."""
+        return self.leaders.is_zero()
+
+    @property
+    def petri_net(self) -> Optional[PetriNet]:
+        """The underlying Petri net when the preorder is a Petri-net reachability relation."""
+        if isinstance(self.preorder, PetriNetPreorder):
+            return self.preorder.net
+        return None
+
+    # ------------------------------------------------------------------
+    # Output function extended to configurations (paper, Section 2)
+    # ------------------------------------------------------------------
+    def configuration_output(self, configuration: Configuration) -> Set[Output]:
+        """``gamma(rho)``: the set of outputs of states populated in ``rho``."""
+        return {self.output[state] for state in configuration.support if state in self.output}
+
+    def has_consensus(self, configuration: Configuration, value: int) -> bool:
+        """True if every populated state outputs ``value``.
+
+        The zero configuration has consensus 0 by the paper's convention for
+        0-output stable configurations, and never has consensus 1.
+        """
+        outputs = self.configuration_output(configuration)
+        if value == OUTPUT_ONE:
+            return outputs == {OUTPUT_ONE}
+        if value == OUTPUT_ZERO:
+            return outputs <= {OUTPUT_ZERO}
+        raise ValueError("consensus value must be 0 or 1")
+
+    # ------------------------------------------------------------------
+    # Initial configurations
+    # ------------------------------------------------------------------
+    def initial_configuration(self, inputs: Union[Configuration, Mapping[State, int]]) -> Configuration:
+        """``rho_L + rho|_P`` for an input ``rho in N^I``.
+
+        The input may mention states outside ``P``; per the paper those are
+        dropped by the restriction to ``P``.
+        """
+        if not isinstance(inputs, Configuration):
+            inputs = Configuration(inputs)
+        unknown = set(inputs.support) - set(self.initial_states)
+        if unknown:
+            raise ValueError(
+                f"input configuration uses non-initial states: {sorted(map(str, unknown))}"
+            )
+        return self.leaders + inputs.restrict(self.states)
+
+    def counting_input(self, count: int) -> Configuration:
+        """Convenience: the input ``count . i`` when ``I = {i}`` is a singleton."""
+        if len(self.initial_states) != 1:
+            raise ValueError("counting_input requires a single initial state")
+        (state,) = tuple(self.initial_states)
+        return Configuration({state: count})
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """A multi-line description of the protocol (states, outputs, leaders)."""
+        width = self.width
+        width_text = "omega" if width is None else str(width)
+        lines = [
+            f"Protocol {self.name or '<anonymous>'}:",
+            f"  states ({self.num_states}): {sorted(map(str, self.states))}",
+            f"  initial states: {sorted(map(str, self.initial_states))}",
+            f"  leaders ({self.num_leaders}): {self.leaders.pretty()}",
+            f"  interaction-width: {width_text}",
+            "  outputs:",
+        ]
+        for state in sorted(self.states, key=str):
+            lines.append(f"    gamma({state}) = {self.output[state]}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        label = self.name or "Protocol"
+        return (
+            f"{label}(|P|={self.num_states}, leaders={self.num_leaders}, "
+            f"width={self.width})"
+        )

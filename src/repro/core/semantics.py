@@ -1,0 +1,166 @@
+"""Output-stable configurations and stable computation (paper, Section 2).
+
+For a protocol with output function ``gamma``, the paper defines the sets of
+*output-stable* configurations:
+
+* ``S_0`` — configurations from which every reachable configuration has
+  ``gamma(beta) subseteq {0}`` (the zero configuration counts as output 0),
+* ``S_1`` — configurations from which every reachable configuration has
+  ``gamma(beta) == {1}`` (so in particular the zero configuration is never
+  1-output stable).
+
+A protocol *stably computes* a predicate ``phi`` if for every input ``rho`` and
+every configuration ``alpha`` reachable from the initial configuration
+``rho_L + rho|_P``, some configuration of ``S_{phi(rho)}`` is reachable from
+``alpha``.
+
+This module computes these notions **exactly** on the finite reachability
+graphs produced by :meth:`repro.core.petrinet.PetriNet.reachability_graph`
+(conservative protocols, or bounded exploration for non-conservative ones),
+which is the workhorse of the verification layer
+(:mod:`repro.analysis.verification`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set
+
+from .configuration import Configuration
+from .petrinet import PetriNet, ReachabilityGraph
+from .protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+
+__all__ = [
+    "forward_closure",
+    "is_output_stable",
+    "output_stable_nodes",
+    "always_eventually_stable",
+    "stable_consensus_value",
+]
+
+
+def forward_closure(
+    net: PetriNet,
+    roots: Iterable[Configuration],
+    max_nodes: Optional[int] = None,
+) -> ReachabilityGraph:
+    """The reachability graph of ``net`` from ``roots`` (a thin convenience wrapper)."""
+    return net.reachability_graph(roots, max_nodes=max_nodes)
+
+
+def is_output_stable(
+    protocol: Protocol,
+    configuration: Configuration,
+    value: int,
+    max_nodes: Optional[int] = None,
+) -> bool:
+    """Decide whether ``configuration`` belongs to ``S_value``.
+
+    The protocol's preorder must be a Petri-net reachability relation (the
+    forward closure is explored explicitly).  For conservative protocols the
+    exploration always terminates; otherwise pass ``max_nodes``.
+    """
+    net = protocol.petri_net
+    if net is None:
+        raise ValueError("output stability requires a Petri-net based protocol")
+    graph = net.reachability_graph([configuration], max_nodes=max_nodes)
+    return all(protocol.has_consensus(node, value) for node in graph.nodes)
+
+
+def output_stable_nodes(
+    graph: ReachabilityGraph, protocol: Protocol, value: int
+) -> Set[Configuration]:
+    """The nodes of a forward-closed graph that are ``value``-output stable.
+
+    ``graph`` must be forward-closed (every successor of a node is a node),
+    which holds for graphs returned by
+    :meth:`~repro.core.petrinet.PetriNet.reachability_graph` without pruning.
+
+    A node is ``value``-output stable iff every node reachable from it (within
+    the graph) has consensus ``value``.  This is computed by a reverse
+    propagation of "bad" nodes: a node is *not* stable iff it reaches a node
+    without consensus ``value``.
+    """
+    bad_seeds = {node for node in graph.nodes if not protocol.has_consensus(node, value)}
+    unstable = _backward_reachable(graph, bad_seeds)
+    return set(graph.nodes) - unstable
+
+
+def _backward_reachable(
+    graph: ReachabilityGraph, targets: Set[Configuration]
+) -> Set[Configuration]:
+    """All graph nodes that can reach a node of ``targets`` (including ``targets``)."""
+    predecessors: Dict[Configuration, List[Configuration]] = {node: [] for node in graph.nodes}
+    for source in graph.nodes:
+        for _, target in graph.successors(source):
+            predecessors[target].append(source)
+    reached = set(targets)
+    frontier = deque(targets)
+    while frontier:
+        current = frontier.popleft()
+        for predecessor in predecessors.get(current, ()):
+            if predecessor not in reached:
+                reached.add(predecessor)
+                frontier.append(predecessor)
+    return reached
+
+
+def always_eventually_stable(
+    graph: ReachabilityGraph,
+    protocol: Protocol,
+    root: Configuration,
+    value: int,
+) -> bool:
+    """Check the stable-computation condition from ``root`` for output ``value``.
+
+    Returns True iff **every** node reachable from ``root`` (within the
+    forward-closed ``graph``) can still reach a ``value``-output-stable node.
+    This is exactly the paper's requirement for input configurations whose
+    predicate value is ``value``.
+    """
+    stable = output_stable_nodes(graph, protocol, value)
+    can_reach_stable = _backward_reachable(graph, stable)
+    reachable_from_root = _forward_reachable(graph, root)
+    return reachable_from_root <= can_reach_stable
+
+
+def _forward_reachable(graph: ReachabilityGraph, root: Configuration) -> Set[Configuration]:
+    """All graph nodes reachable from ``root`` within the graph."""
+    if root not in graph.nodes:
+        return set()
+    reached = {root}
+    frontier = deque([root])
+    while frontier:
+        current = frontier.popleft()
+        for _, target in graph.successors(current):
+            if target not in reached:
+                reached.add(target)
+                frontier.append(target)
+    return reached
+
+
+def stable_consensus_value(
+    protocol: Protocol,
+    inputs: Configuration,
+    max_nodes: Optional[int] = None,
+) -> Optional[int]:
+    """The value stably computed by the protocol on a given input, if any.
+
+    Explores the reachability graph from ``rho_L + inputs|_P`` and returns
+
+    * 0 if the stable-computation condition holds for output 0,
+    * 1 if it holds for output 1,
+    * None if it holds for neither (the protocol is not well-specified on this
+      input) — note it cannot hold for both on the same input because a
+      configuration cannot be simultaneously 0- and 1-output stable unless the
+      graph is empty.
+    """
+    net = protocol.petri_net
+    if net is None:
+        raise ValueError("stable_consensus_value requires a Petri-net based protocol")
+    root = protocol.initial_configuration(inputs)
+    graph = net.reachability_graph([root], max_nodes=max_nodes)
+    for value in (OUTPUT_ONE, OUTPUT_ZERO):
+        if always_eventually_stable(graph, protocol, root, value):
+            return value
+    return None

@@ -1,0 +1,202 @@
+"""Transitions of Petri nets and population protocols.
+
+A *P-transition* (paper, Section 3) is a pair ``t = (alpha_t, beta_t)`` of
+``P``-configurations.  Firing ``t`` in a configuration that contains
+``alpha_t`` removes ``alpha_t`` and adds ``beta_t``:
+
+    ``alpha --t--> beta``   iff   ``alpha = alpha_t + rho`` and
+                                  ``beta  = beta_t  + rho`` for some ``rho``.
+
+The *interaction-width* ``|t|`` is ``max(|alpha_t|, |beta_t|)`` — the number
+of agents that must meet in a single interaction step.  Classical population
+protocols have width 2 (pairwise interactions); the paper's parameterized
+bounds are expressed in terms of this width.
+
+The *displacement* ``Delta(t)`` (Section 7) is the integer vector
+``beta_t - alpha_t``, used throughout the control-state and cycle analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from .configuration import Configuration, State
+
+__all__ = ["Transition", "pairwise", "displacement_of_word", "word_width"]
+
+ConfigurationLike = Union[Configuration, Mapping[State, int]]
+
+
+def _as_configuration(value: ConfigurationLike) -> Configuration:
+    if isinstance(value, Configuration):
+        return value
+    return Configuration(value)
+
+
+class Transition:
+    """A Petri-net transition ``t = (pre, post)`` over configurations.
+
+    Parameters
+    ----------
+    pre:
+        The configuration ``alpha_t`` consumed by the transition.
+    post:
+        The configuration ``beta_t`` produced by the transition.
+    name:
+        Optional label used in traces and pretty-printing.
+    """
+
+    __slots__ = ("pre", "post", "name", "_hash")
+
+    def __init__(
+        self,
+        pre: ConfigurationLike,
+        post: ConfigurationLike,
+        name: Optional[str] = None,
+    ):
+        self.pre = _as_configuration(pre)
+        self.post = _as_configuration(post)
+        self.name = name
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Measures used by the paper
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """``|t|``: the interaction-width ``max(|pre|, |post|)``."""
+        return max(self.pre.size, self.post.size)
+
+    @property
+    def max_value(self) -> int:
+        """``||t||_inf``: the largest single-state multiplicity in pre or post."""
+        return max(self.pre.max_value, self.post.max_value)
+
+    @property
+    def states(self) -> frozenset:
+        """All states mentioned by the transition."""
+        return self.pre.support | self.post.support
+
+    def is_conservative(self) -> bool:
+        """True if the transition preserves the number of agents (``|pre| == |post|``)."""
+        return self.pre.size == self.post.size
+
+    def displacement(self) -> Dict[State, int]:
+        """``Delta(t)``: the integer vector ``post - pre`` as a plain dict.
+
+        Zero entries are omitted, mirroring the sparse convention of
+        :class:`~repro.core.configuration.Configuration`.
+        """
+        delta: Dict[State, int] = {}
+        for state in self.states:
+            diff = self.post[state] - self.pre[state]
+            if diff != 0:
+                delta[state] = diff
+        return delta
+
+    # ------------------------------------------------------------------
+    # Firing semantics
+    # ------------------------------------------------------------------
+    def is_enabled(self, configuration: Configuration) -> bool:
+        """Return True if the transition can fire from ``configuration``."""
+        return self.pre <= configuration
+
+    def fire(self, configuration: Configuration) -> Configuration:
+        """Fire the transition from ``configuration``.
+
+        Raises
+        ------
+        ValueError
+            If the transition is not enabled.
+        """
+        if not self.is_enabled(configuration):
+            raise ValueError(
+                f"transition {self} is not enabled in {configuration.pretty()}"
+            )
+        return (configuration - self.pre) + self.post
+
+    def fire_if_enabled(self, configuration: Configuration) -> Optional[Configuration]:
+        """Fire the transition if enabled, otherwise return None."""
+        if not self.is_enabled(configuration):
+            return None
+        return (configuration - self.pre) + self.post
+
+    def reverse(self) -> "Transition":
+        """The reverse transition ``(post, pre)``."""
+        name = None if self.name is None else f"~{self.name}"
+        return Transition(self.post, self.pre, name=name)
+
+    # ------------------------------------------------------------------
+    # Restriction (paper: ``t|_Q``)
+    # ------------------------------------------------------------------
+    def restrict(self, states: Iterable[State]) -> "Transition":
+        """``t|_Q``: the transition obtained by projecting pre and post on ``Q``."""
+        wanted = set(states)
+        name = None if self.name is None else f"{self.name}|Q"
+        return Transition(self.pre.restrict(wanted), self.post.restrict(wanted), name=name)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def as_pair(self) -> Tuple[Configuration, Configuration]:
+        """Return the underlying pair ``(pre, post)``."""
+        return (self.pre, self.post)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Transition):
+            return NotImplemented
+        return self.pre == other.pre and self.post == other.post
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.pre, self.post))
+        return self._hash
+
+    def __repr__(self) -> str:
+        label = f" [{self.name}]" if self.name else ""
+        return f"Transition({self.pre.pretty()} -> {self.post.pretty()}{label})"
+
+
+def pairwise(
+    lhs: Tuple[State, State],
+    rhs: Tuple[State, State],
+    name: Optional[str] = None,
+) -> Transition:
+    """Build the classical width-2 population-protocol transition ``(a, b) -> (c, d)``.
+
+    This is the usual notation for interaction rules of population protocols:
+    two agents in states ``a`` and ``b`` meet and move to states ``c`` and ``d``.
+    """
+    a, b = lhs
+    c, d = rhs
+    pre = Configuration.unit(a) + Configuration.unit(b)
+    post = Configuration.unit(c) + Configuration.unit(d)
+    return Transition(pre, post, name=name)
+
+
+def displacement_of_word(word: Iterable[Transition]) -> Dict[State, int]:
+    """``Delta(sigma)``: the summed displacement of a word of transitions."""
+    total: Dict[State, int] = {}
+    for transition in word:
+        for state, diff in transition.displacement().items():
+            new = total.get(state, 0) + diff
+            if new == 0:
+                total.pop(state, None)
+            else:
+                total[state] = new
+    return total
+
+
+def word_width(word: Iterable[Transition]) -> int:
+    """The largest interaction-width occurring in a word of transitions."""
+    width = 0
+    for transition in word:
+        if transition.width > width:
+            width = transition.width
+    return width

@@ -1,0 +1,28 @@
+"""Experiment harness and the E1..E8 experiment definitions (see DESIGN.md)."""
+
+from . import experiment_defs  # noqa: F401  (registers the experiments)
+from .experiment_defs import (
+    experiment_e1_state_counts,
+    experiment_e2_theorem_4_3,
+    experiment_e3_lower_bounds,
+    experiment_e4_rackoff,
+    experiment_e5_stability,
+    experiment_e6_bottom,
+    experiment_e7_cycles,
+    experiment_e8_verification,
+)
+from .harness import ExperimentRegistry, ExperimentTable, registry
+
+__all__ = [
+    "ExperimentTable",
+    "ExperimentRegistry",
+    "registry",
+    "experiment_e1_state_counts",
+    "experiment_e2_theorem_4_3",
+    "experiment_e3_lower_bounds",
+    "experiment_e4_rackoff",
+    "experiment_e5_stability",
+    "experiment_e6_bottom",
+    "experiment_e7_cycles",
+    "experiment_e8_verification",
+]

@@ -1,0 +1,55 @@
+"""Concrete protocol constructions.
+
+The paper's worked examples (4.1 and 4.2), the classical flock-of-birds and
+majority/modulo protocols, and the succinct Blondin–Esparza–Jaax baselines.
+Every construction returns a :class:`~repro.core.protocol.Protocol` ready for
+verification, simulation and the state-count benchmarks.
+"""
+
+from .builders import ProtocolBuilder
+from .example_4_1 import (
+    example_4_1_petri_net,
+    example_4_1_predicate,
+    example_4_1_preorder,
+    example_4_1_protocol,
+)
+from .example_4_2 import (
+    example_4_2_petri_net,
+    example_4_2_predicate,
+    example_4_2_protocol,
+)
+from .flock_of_birds import flock_of_birds_predicate, flock_of_birds_protocol
+from .majority import majority_predicate, majority_protocol
+from .modulo import modulo_initial_state, modulo_predicate, modulo_protocol
+from .succinct import (
+    bej_family_threshold,
+    bej_with_leaders_state_count,
+    succinct_initial_state,
+    succinct_leaderless_predicate,
+    succinct_leaderless_protocol,
+    succinct_leaderless_state_count,
+)
+
+__all__ = [
+    "ProtocolBuilder",
+    "flock_of_birds_protocol",
+    "flock_of_birds_predicate",
+    "example_4_1_protocol",
+    "example_4_1_petri_net",
+    "example_4_1_preorder",
+    "example_4_1_predicate",
+    "example_4_2_protocol",
+    "example_4_2_petri_net",
+    "example_4_2_predicate",
+    "succinct_leaderless_protocol",
+    "succinct_leaderless_predicate",
+    "succinct_leaderless_state_count",
+    "succinct_initial_state",
+    "bej_family_threshold",
+    "bej_with_leaders_state_count",
+    "modulo_protocol",
+    "modulo_predicate",
+    "modulo_initial_state",
+    "majority_protocol",
+    "majority_predicate",
+]

@@ -1,0 +1,136 @@
+"""Helpers for building protocols from interaction tables.
+
+The constructions of this subpackage all describe protocols by a list of
+pairwise interaction rules (and occasionally wider transitions).  The
+:class:`ProtocolBuilder` collects states, rules, leaders and outputs and
+produces a :class:`~repro.core.protocol.Protocol` backed by a Petri net, with
+validation along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.configuration import Configuration, State
+from ..core.petrinet import PetriNet
+from ..core.protocol import OUTPUT_ONE, OUTPUT_UNDEFINED, OUTPUT_ZERO, Output, Protocol
+from ..core.transition import Transition, pairwise
+
+__all__ = ["ProtocolBuilder"]
+
+
+class ProtocolBuilder:
+    """Incrementally assemble a Petri-net based protocol.
+
+    Example
+    -------
+    >>> builder = ProtocolBuilder(name="example")
+    >>> builder.add_rule(("i", "i"), ("p", "p"))
+    >>> builder.set_initial_states(["i"])
+    >>> builder.set_output("i", 0)
+    >>> builder.set_output("p", 1)
+    >>> protocol = builder.build()
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name
+        self._transitions: List[Transition] = []
+        self._states: set = set()
+        self._initial_states: set = set()
+        self._leaders: Configuration = Configuration.zero()
+        self._outputs: Dict[State, Output] = {}
+
+    # ------------------------------------------------------------------
+    # States and rules
+    # ------------------------------------------------------------------
+    def add_state(self, state: State, output: Optional[Output] = None) -> "ProtocolBuilder":
+        """Declare a state (optionally with its output value)."""
+        self._states.add(state)
+        if output is not None:
+            self._outputs[state] = output
+        return self
+
+    def add_states(self, states: Iterable[State]) -> "ProtocolBuilder":
+        """Declare several states at once."""
+        for state in states:
+            self._states.add(state)
+        return self
+
+    def add_rule(
+        self,
+        lhs: Tuple[State, State],
+        rhs: Tuple[State, State],
+        name: Optional[str] = None,
+    ) -> "ProtocolBuilder":
+        """Add a classical pairwise interaction rule ``(a, b) -> (c, d)``."""
+        transition = pairwise(lhs, rhs, name=name)
+        self._transitions.append(transition)
+        self._states |= set(lhs) | set(rhs)
+        return self
+
+    def add_transition(
+        self,
+        pre: Mapping[State, int],
+        post: Mapping[State, int],
+        name: Optional[str] = None,
+    ) -> "ProtocolBuilder":
+        """Add a general (possibly non-conservative, wider) transition."""
+        transition = Transition(Configuration(pre), Configuration(post), name=name)
+        self._transitions.append(transition)
+        self._states |= set(transition.states)
+        return self
+
+    # ------------------------------------------------------------------
+    # Leaders, initial states, outputs
+    # ------------------------------------------------------------------
+    def set_leaders(self, leaders: Mapping[State, int]) -> "ProtocolBuilder":
+        """Set the leader configuration ``rho_L``."""
+        self._leaders = Configuration(leaders)
+        self._states |= set(self._leaders.support)
+        return self
+
+    def set_initial_states(self, states: Iterable[State]) -> "ProtocolBuilder":
+        """Set the initial states ``I``."""
+        self._initial_states = set(states)
+        self._states |= self._initial_states
+        return self
+
+    def set_output(self, state: State, output: Output) -> "ProtocolBuilder":
+        """Set ``gamma(state)``."""
+        self._states.add(state)
+        self._outputs[state] = output
+        return self
+
+    def set_outputs(self, outputs: Mapping[State, Output]) -> "ProtocolBuilder":
+        """Set the output of several states at once."""
+        for state, output in outputs.items():
+            self.set_output(state, output)
+        return self
+
+    def set_default_output(self, output: Output) -> "ProtocolBuilder":
+        """Give every state without an explicit output the given value."""
+        for state in self._states:
+            self._outputs.setdefault(state, output)
+        return self
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Protocol:
+        """Validate and build the protocol."""
+        if not self._initial_states:
+            raise ValueError("the protocol needs at least one initial state")
+        missing = self._states - set(self._outputs)
+        if missing:
+            raise ValueError(
+                f"missing outputs for states: {sorted(map(str, missing))}; "
+                "use set_output or set_default_output"
+            )
+        net = PetriNet(self._transitions, states=self._states, name=self.name)
+        return Protocol.from_petri_net(
+            net,
+            leaders=self._leaders,
+            initial_states=self._initial_states,
+            output=self._outputs,
+            name=self.name,
+        )

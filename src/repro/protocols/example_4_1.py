@@ -1,0 +1,99 @@
+"""Example 4.1 of the paper: a 2-state protocol with interaction-width ``n``.
+
+The example shows that counting the states of a protocol *without* bounding
+its interaction-width is meaningless: the predicate ``x >= n`` is stably
+computable by a leaderless conservative protocol with **two** states, at the
+price of an interaction-width equal to ``n``.
+
+States are ``{i, p}``, the initial state is ``i`` and ``gamma(i) = 0``,
+``gamma(p) = 1``.  The additive preorder is the reachability relation of the
+Petri net ``{(rho + i, rho + p) : rho in N^P, |rho| = n - 1}``: a group of
+``n`` agents (any mix of ``i`` and ``p``) can convert one of its ``i`` members
+to ``p``.  This net has exactly ``n`` transitions, each of interaction-width
+``n``, so the protocol is available both as an explicit Petri-net protocol
+(:func:`example_4_1_protocol`) and as the abstract relation of the paper
+(:func:`example_4_1_preorder`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.configuration import Configuration
+from ..core.petrinet import PetriNet
+from ..core.predicates import CountingPredicate
+from ..core.preorder import RelationPreorder
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from ..core.transition import Transition
+
+__all__ = [
+    "STATE_I",
+    "STATE_P",
+    "example_4_1_petri_net",
+    "example_4_1_protocol",
+    "example_4_1_preorder",
+    "example_4_1_predicate",
+]
+
+STATE_I = "i"
+STATE_P = "p"
+
+
+def example_4_1_predicate(threshold: int) -> CountingPredicate:
+    """The counting predicate ``(i >= n)`` of the example."""
+    return CountingPredicate(STATE_I, threshold)
+
+
+def example_4_1_petri_net(threshold: int) -> PetriNet:
+    """The Petri net ``{(rho + i, rho + p) : |rho| = n - 1}`` over ``{i, p}``.
+
+    There are exactly ``n`` transitions (one per split of the ``n - 1``
+    context agents between ``i`` and ``p``), each of width ``n``.
+    """
+    if threshold < 1:
+        raise ValueError("the threshold must be at least 1")
+    transitions = []
+    for in_i in range(threshold):
+        in_p = threshold - 1 - in_i
+        context = Configuration({STATE_I: in_i, STATE_P: in_p})
+        pre = context + Configuration.unit(STATE_I)
+        post = context + Configuration.unit(STATE_P)
+        transitions.append(Transition(pre, post, name=f"convert[{in_i}i,{in_p}p]"))
+    return PetriNet(transitions, states=[STATE_I, STATE_P], name=f"example-4.1(n={threshold})")
+
+
+def example_4_1_protocol(threshold: int, name: Optional[str] = None) -> Protocol:
+    """The 2-state, width-``n``, leaderless protocol of Example 4.1."""
+    net = example_4_1_petri_net(threshold)
+    return Protocol.from_petri_net(
+        net,
+        leaders=Configuration.zero(),
+        initial_states=[STATE_I],
+        output={STATE_I: OUTPUT_ZERO, STATE_P: OUTPUT_ONE},
+        name=name or f"example-4.1(n={threshold})",
+    )
+
+
+def example_4_1_preorder(threshold: int) -> RelationPreorder:
+    """The abstract additive preorder of Example 4.1, as defined in the paper.
+
+    ``alpha -->* beta`` iff there exists ``m in N`` with
+    ``beta + m.i = alpha + m.p`` and (``m = 0`` or ``|alpha| >= n``).
+    """
+
+    def relates(alpha: Configuration, beta: Configuration) -> bool:
+        # beta + m.i = alpha + m.p forces m = alpha(i) - beta(i) = beta(p) - alpha(p).
+        m = alpha[STATE_I] - beta[STATE_I]
+        if m != beta[STATE_P] - alpha[STATE_P]:
+            return False
+        if m < 0:
+            return False
+        if alpha.erase([STATE_I, STATE_P]) != beta.erase([STATE_I, STATE_P]):
+            return False
+        return m == 0 or alpha.size >= threshold
+
+    return RelationPreorder(
+        relates,
+        width=threshold,
+        name=f"example-4.1-preorder(n={threshold})",
+    )

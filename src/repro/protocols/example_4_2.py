@@ -1,0 +1,91 @@
+"""Example 4.2 of the paper: 6 states, width 2, and ``n`` leaders.
+
+The example shows that counting the states of a protocol *without* bounding
+the number of leaders is also meaningless: with ``n`` leader agents (all
+starting in the complemented state ``i-bar``), the predicate ``x >= n`` is
+stably computable with six states and pairwise interactions.
+
+States: ``{i, i-bar, p, p-bar, q, q-bar}``; initial state ``i``; leaders
+``n . i-bar``; outputs ``gamma(i) = gamma(p) = gamma(q) = 1`` and
+``gamma(i-bar) = gamma(p-bar) = gamma(q-bar) = 0``.  Transitions (paper
+notation, ``t`` cancels an input against a leader and seeds the witnesses
+``p`` and ``q``; the other rules flip the "bar status" of the witnesses):
+
+* ``t      = (i + i-bar,  p + q)``
+* ``t_p    = (p-bar + i,  p + i)``        ``t_p-bar = (p + i-bar,  p-bar + i-bar)``
+* ``t_q    = (q-bar + i,  q + i)``        ``t_q-bar = (q + i-bar,  q-bar + i-bar)``
+* ``t-bar_q = (p + q-bar,  p + q)``       ``t-bar_p = (q + p-bar,  q + p)``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.configuration import Configuration
+from ..core.petrinet import PetriNet
+from ..core.predicates import CountingPredicate
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from ..core.transition import pairwise
+
+__all__ = [
+    "STATE_I",
+    "STATE_I_BAR",
+    "STATE_P",
+    "STATE_P_BAR",
+    "STATE_Q",
+    "STATE_Q_BAR",
+    "example_4_2_petri_net",
+    "example_4_2_protocol",
+    "example_4_2_predicate",
+]
+
+STATE_I = "i"
+STATE_I_BAR = "i_bar"
+STATE_P = "p"
+STATE_P_BAR = "p_bar"
+STATE_Q = "q"
+STATE_Q_BAR = "q_bar"
+
+_ALL_STATES = (STATE_I, STATE_I_BAR, STATE_P, STATE_P_BAR, STATE_Q, STATE_Q_BAR)
+
+
+def example_4_2_predicate(threshold: int) -> CountingPredicate:
+    """The counting predicate ``(i >= n)`` of the example."""
+    return CountingPredicate(STATE_I, threshold)
+
+
+def example_4_2_petri_net() -> PetriNet:
+    """The seven pairwise transitions of Example 4.2 (independent of ``n``)."""
+    transitions = [
+        pairwise((STATE_I, STATE_I_BAR), (STATE_P, STATE_Q), name="t"),
+        pairwise((STATE_P_BAR, STATE_I), (STATE_P, STATE_I), name="t_p"),
+        pairwise((STATE_P, STATE_I_BAR), (STATE_P_BAR, STATE_I_BAR), name="t_p_bar"),
+        pairwise((STATE_Q_BAR, STATE_I), (STATE_Q, STATE_I), name="t_q"),
+        pairwise((STATE_Q, STATE_I_BAR), (STATE_Q_BAR, STATE_I_BAR), name="t_q_bar"),
+        pairwise((STATE_P, STATE_Q_BAR), (STATE_P, STATE_Q), name="t_bar_q"),
+        pairwise((STATE_Q, STATE_P_BAR), (STATE_Q, STATE_P), name="t_bar_p"),
+    ]
+    return PetriNet(transitions, states=_ALL_STATES, name="example-4.2")
+
+
+def example_4_2_protocol(threshold: int, name: Optional[str] = None) -> Protocol:
+    """The 6-state, width-2 protocol of Example 4.2 with ``threshold`` leaders."""
+    if threshold < 1:
+        raise ValueError("the threshold must be at least 1")
+    net = example_4_2_petri_net()
+    leaders = Configuration({STATE_I_BAR: threshold})
+    outputs = {
+        STATE_I: OUTPUT_ONE,
+        STATE_P: OUTPUT_ONE,
+        STATE_Q: OUTPUT_ONE,
+        STATE_I_BAR: OUTPUT_ZERO,
+        STATE_P_BAR: OUTPUT_ZERO,
+        STATE_Q_BAR: OUTPUT_ZERO,
+    }
+    return Protocol.from_petri_net(
+        net,
+        leaders=leaders,
+        initial_states=[STATE_I],
+        output=outputs,
+        name=name or f"example-4.2(n={threshold})",
+    )

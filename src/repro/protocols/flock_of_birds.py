@@ -1,0 +1,67 @@
+"""The classical flock-of-birds protocol for the counting predicate ``x >= n``.
+
+This is the textbook threshold protocol (Angluin et al. 2006): every agent
+stores a value in ``{0, 1, ..., n}``; when two agents meet they consolidate
+their values (capped at ``n``); an agent that has witnessed ``n`` switches to
+the accepting value ``n`` and converts everyone it meets.
+
+It uses ``n + 1`` states, interaction-width 2 and no leaders, and serves as
+the *linear* baseline of benchmark E1: the paper (and Blondin–Esparza–Jaax)
+are about how far below ``n + 1`` the state count can be pushed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.predicates import CountingPredicate
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from .builders import ProtocolBuilder
+
+__all__ = ["flock_of_birds_protocol", "flock_of_birds_predicate", "INITIAL_STATE"]
+
+#: The initial state of the flock-of-birds protocols (an agent carrying value 1).
+INITIAL_STATE = 1
+
+
+def flock_of_birds_predicate(threshold: int) -> CountingPredicate:
+    """The counting predicate ``(1 >= n)`` the protocol stably computes.
+
+    The initial state is the integer ``1`` (an agent carrying value 1), so the
+    predicate asks whether at least ``threshold`` agents start in state 1.
+    """
+    return CountingPredicate(INITIAL_STATE, threshold)
+
+
+def flock_of_birds_protocol(threshold: int, name: Optional[str] = None) -> Protocol:
+    """The classical ``n + 1``-state protocol for ``x >= threshold``.
+
+    States are the integers ``0..threshold`` (an agent in state ``v`` carries
+    value ``v``); rules:
+
+    * ``(a, b) -> (a + b, 0)``       when ``0 < a, b`` and ``a + b < threshold``,
+    * ``(a, b) -> (threshold, threshold)`` when ``a + b >= threshold``,
+    * ``(threshold, b) -> (threshold, threshold)`` — output propagation.
+
+    Output 1 exactly for the state ``threshold``.
+    """
+    if threshold < 1:
+        raise ValueError("the threshold must be at least 1")
+    builder = ProtocolBuilder(name=name or f"flock-of-birds(n={threshold})")
+    states = list(range(threshold + 1))
+    builder.add_states(states)
+    builder.set_initial_states([INITIAL_STATE])
+
+    for a in range(1, threshold + 1):
+        for b in range(1, a + 1):
+            total = a + b
+            if total < threshold:
+                builder.add_rule((a, b), (total, 0), name=f"merge_{a}_{b}")
+            else:
+                builder.add_rule((a, b), (threshold, threshold), name=f"accept_{a}_{b}")
+    # Propagation of the accepting value to value-0 agents.
+    builder.add_rule((threshold, 0), (threshold, threshold), name="propagate_0")
+
+    for state in states:
+        builder.set_output(state, OUTPUT_ONE if state == threshold else OUTPUT_ZERO)
+    return builder.build()

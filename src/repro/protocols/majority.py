@@ -1,0 +1,66 @@
+"""The classical four-state exact-majority protocol.
+
+Not part of the paper's bounds, but the standard second workload for the
+simulator and the verifier: it exercises a two-variable Presburger predicate
+(``x_A > x_B``) with the interaction pattern (cancellation + opinion
+spreading) that most of the population-protocol literature benchmarks on.
+
+States: active opinions ``A`` and ``B``, passive opinions ``a`` and ``b``.
+Rules:
+
+* ``(A, B) -> (a, b)`` — opposite actives cancel,
+* ``(A, b) -> (A, a)`` and ``(B, a) -> (B, b)`` — actives convert passives,
+* ``(a, b) -> (b, b)`` — passive tie-breaking toward ``B`` (makes the
+  protocol well-specified on ties, where the predicate ``x_A > x_B`` is
+  false).
+
+Outputs: ``A, a -> 1`` and ``B, b -> 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.predicates import ThresholdPredicate
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from .builders import ProtocolBuilder
+
+__all__ = [
+    "STATE_A",
+    "STATE_B",
+    "STATE_A_PASSIVE",
+    "STATE_B_PASSIVE",
+    "majority_predicate",
+    "majority_protocol",
+]
+
+STATE_A = "A"
+STATE_B = "B"
+STATE_A_PASSIVE = "a"
+STATE_B_PASSIVE = "b"
+
+
+def majority_predicate() -> ThresholdPredicate:
+    """The predicate ``x_A - x_B >= 1`` (strict majority of ``A``)."""
+    return ThresholdPredicate({STATE_A: 1, STATE_B: -1}, 1)
+
+
+def majority_protocol(name: Optional[str] = None) -> Protocol:
+    """The classical 4-state exact-majority protocol (leaderless, width 2)."""
+    builder = ProtocolBuilder(name=name or "majority")
+    builder.set_initial_states([STATE_A, STATE_B])
+    builder.add_rule((STATE_A, STATE_B), (STATE_A_PASSIVE, STATE_B_PASSIVE), name="cancel")
+    builder.add_rule((STATE_A, STATE_B_PASSIVE), (STATE_A, STATE_A_PASSIVE), name="convert_a")
+    builder.add_rule((STATE_B, STATE_A_PASSIVE), (STATE_B, STATE_B_PASSIVE), name="convert_b")
+    builder.add_rule(
+        (STATE_A_PASSIVE, STATE_B_PASSIVE), (STATE_B_PASSIVE, STATE_B_PASSIVE), name="tie_break"
+    )
+    builder.set_outputs(
+        {
+            STATE_A: OUTPUT_ONE,
+            STATE_A_PASSIVE: OUTPUT_ONE,
+            STATE_B: OUTPUT_ZERO,
+            STATE_B_PASSIVE: OUTPUT_ZERO,
+        }
+    )
+    return builder.build()

@@ -1,0 +1,86 @@
+"""Modulo (remainder) protocols — a Presburger building block.
+
+The counting predicates studied by the paper are one family of Presburger
+atoms; the other standard family consists of the remainder predicates
+``x = r (mod m)``.  The classical protocol for them keeps, in a distinguished
+"accumulator" role, the running remainder of the number of input agents:
+agents merge their residues pairwise, and the carrier of the merged residue
+announces the current verdict.
+
+These protocols round out the construction library (they are used by the
+boolean-combination examples and give the simulator a second predicate family
+to exercise), and they are exhaustively verified in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.predicates import ModuloPredicate
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from .builders import ProtocolBuilder
+
+__all__ = [
+    "modulo_initial_state",
+    "modulo_predicate",
+    "modulo_protocol",
+]
+
+
+def modulo_initial_state() -> Tuple[str, int]:
+    """The initial state: an agent contributing 1 to the running sum."""
+    return ("r", 1, "active")
+
+
+def modulo_predicate(modulus: int, remainder: int) -> ModuloPredicate:
+    """The predicate ``x = remainder (mod modulus)`` over the initial state."""
+    return ModuloPredicate({modulo_initial_state(): 1}, modulus, remainder)
+
+
+def modulo_protocol(modulus: int, remainder: int, name: Optional[str] = None) -> Protocol:
+    """The classical ``2m``-state protocol for ``x = remainder (mod m)``.
+
+    States are pairs ``(value, role)`` where ``value in {0..m-1}`` and the role
+    is ``active`` (still carrying a residue that must be accounted for) or
+    ``passive`` (its residue has been handed over).  Rules:
+
+    * ``(a, active) + (b, active) -> ((a + b) mod m, active) + ((a + b) mod m, passive)``
+      — two actives merge; the passive copy remembers the current total so its
+      output stays up to date,
+    * ``(a, active) + (b, passive) -> (a, active) + (a, passive)``
+      — an active agent refreshes the verdict of a passive one.
+
+    An agent outputs 1 exactly when the value it carries equals ``remainder``.
+    The number of input agents mod ``m`` is an invariant carried by the unique
+    remaining active agent once all merges have happened (with at least one
+    agent present); every passive agent eventually copies that value.
+    """
+    if modulus < 2:
+        raise ValueError("the modulus must be at least 2")
+    remainder %= modulus
+    builder = ProtocolBuilder(name=name or f"modulo(x = {remainder} mod {modulus})")
+    builder.set_initial_states([modulo_initial_state()])
+
+    def active(value: int) -> Tuple[str, int, str]:
+        return ("r", value % modulus, "active")
+
+    def passive(value: int) -> Tuple[str, int, str]:
+        return ("r", value % modulus, "passive")
+
+    for a in range(modulus):
+        for b in range(modulus):
+            total = (a + b) % modulus
+            builder.add_rule(
+                (active(a), active(b)), (active(total), passive(total)),
+                name=f"merge_{a}_{b}",
+            )
+            builder.add_rule(
+                (active(a), passive(b)), (active(a), passive(a)),
+                name=f"refresh_{a}_{b}",
+            )
+
+    for value in range(modulus):
+        verdict = OUTPUT_ONE if value == remainder else OUTPUT_ZERO
+        builder.set_output(active(value), verdict)
+        builder.set_output(passive(value), verdict)
+    return builder.build()

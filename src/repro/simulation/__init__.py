@@ -1,0 +1,17 @@
+"""Random-scheduler simulation of protocols: schedulers, runs, statistics."""
+
+from .scheduler import Scheduler, TransitionScheduler, UniformScheduler
+from .simulator import SimulationResult, Simulator, simulate
+from .statistics import ConvergenceStatistics, accuracy_against_predicate, summarize_runs
+
+__all__ = [
+    "Scheduler",
+    "UniformScheduler",
+    "TransitionScheduler",
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "ConvergenceStatistics",
+    "summarize_runs",
+    "accuracy_against_predicate",
+]

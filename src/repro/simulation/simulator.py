@@ -1,0 +1,187 @@
+"""Random-scheduler simulation of protocols.
+
+The verification layer explores every execution exhaustively, which is only
+feasible for small populations.  The simulator samples executions under a
+scheduler instead, which scales to thousands of agents and is the substrate of
+the convergence-time experiments and the larger examples.
+
+A run proceeds step by step until one of:
+
+* the current configuration reaches a **consensus** that does not change for
+  ``stability_window`` further steps (heuristic convergence detection),
+* no transition is enabled (a genuinely terminal configuration),
+* the step budget is exhausted.
+
+The result records the trajectory summary, the final configuration, the
+consensus value (if any) and how many steps were needed to reach it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from .scheduler import Scheduler, UniformScheduler
+
+__all__ = ["SimulationResult", "Simulator", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a single simulated execution."""
+
+    initial: Configuration
+    final: Configuration
+    steps: int
+    consensus: Optional[int]
+    consensus_step: Optional[int]
+    terminated: bool
+    interactions_sampled: int
+
+    @property
+    def converged(self) -> bool:
+        """True if the run ended in a consensus (stable or terminal)."""
+        return self.consensus is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult(steps={self.steps}, consensus={self.consensus}, "
+            f"consensus_step={self.consensus_step}, terminated={self.terminated})"
+        )
+
+
+class Simulator:
+    """Simulate a protocol under a scheduler.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to simulate (must be Petri-net based).
+    scheduler:
+        The scheduling discipline; defaults to :class:`UniformScheduler`.
+    seed:
+        Seed of the internal random generator (for reproducible runs).
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        scheduler: Optional[Scheduler] = None,
+        seed: Optional[int] = None,
+    ):
+        if protocol.petri_net is None:
+            raise ValueError("simulation requires a Petri-net based protocol")
+        self.protocol = protocol
+        self.net = protocol.petri_net
+        self.scheduler = scheduler or UniformScheduler()
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Single runs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Configuration,
+        max_steps: int = 100000,
+        stability_window: int = 200,
+    ) -> SimulationResult:
+        """Simulate one execution from the initial configuration ``rho_L + inputs``."""
+        configuration = self.protocol.initial_configuration(inputs)
+        return self.run_from(configuration, max_steps=max_steps, stability_window=stability_window)
+
+    def run_from(
+        self,
+        configuration: Configuration,
+        max_steps: int = 100000,
+        stability_window: int = 200,
+    ) -> SimulationResult:
+        """Simulate one execution from an arbitrary starting configuration."""
+        initial = configuration
+        current = configuration
+        consensus_value = self._consensus(current)
+        consensus_since: Optional[int] = 0 if consensus_value is not None else None
+        interactions = 0
+
+        for step in range(1, max_steps + 1):
+            transition = self.scheduler.choose(self.net, current, self.rng)
+            if transition is None:
+                # Terminal configuration: the consensus (if any) is definitive.
+                return SimulationResult(
+                    initial=initial,
+                    final=current,
+                    steps=step - 1,
+                    consensus=consensus_value,
+                    consensus_step=consensus_since,
+                    terminated=True,
+                    interactions_sampled=interactions,
+                )
+            current = transition.fire(current)
+            interactions += 1
+            value = self._consensus(current)
+            if value is None or value != consensus_value:
+                consensus_value = value
+                consensus_since = step if value is not None else None
+            if (
+                consensus_value is not None
+                and consensus_since is not None
+                and step - consensus_since >= stability_window
+            ):
+                return SimulationResult(
+                    initial=initial,
+                    final=current,
+                    steps=step,
+                    consensus=consensus_value,
+                    consensus_step=consensus_since,
+                    terminated=False,
+                    interactions_sampled=interactions,
+                )
+
+        return SimulationResult(
+            initial=initial,
+            final=current,
+            steps=max_steps,
+            consensus=consensus_value,
+            consensus_step=consensus_since,
+            terminated=False,
+            interactions_sampled=interactions,
+        )
+
+    def _consensus(self, configuration: Configuration) -> Optional[int]:
+        """The consensus value of a configuration, or None if outputs disagree."""
+        if self.protocol.has_consensus(configuration, OUTPUT_ONE):
+            return OUTPUT_ONE
+        if self.protocol.has_consensus(configuration, OUTPUT_ZERO):
+            return OUTPUT_ZERO
+        return None
+
+    # ------------------------------------------------------------------
+    # Repeated runs
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        inputs: Configuration,
+        repetitions: int,
+        max_steps: int = 100000,
+        stability_window: int = 200,
+    ) -> List[SimulationResult]:
+        """Simulate several independent executions from the same input."""
+        return [
+            self.run(inputs, max_steps=max_steps, stability_window=stability_window)
+            for _ in range(repetitions)
+        ]
+
+
+def simulate(
+    protocol: Protocol,
+    inputs: Configuration,
+    seed: Optional[int] = None,
+    max_steps: int = 100000,
+    stability_window: int = 200,
+    scheduler: Optional[Scheduler] = None,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(protocol, scheduler=scheduler, seed=seed)
+    return simulator.run(inputs, max_steps=max_steps, stability_window=stability_window)

@@ -1,0 +1,81 @@
+"""Aggregation of simulation results.
+
+Convergence-time statistics over repeated runs: how many interactions until a
+consensus emerges, what fraction of runs converge, and whether the consensus
+matches a reference predicate.  Used by the convergence benchmark and the
+domain examples.
+"""
+
+from __future__ import annotations
+
+import statistics as _stats
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..core.predicates import Predicate
+from .simulator import SimulationResult
+
+__all__ = ["ConvergenceStatistics", "summarize_runs", "accuracy_against_predicate"]
+
+
+@dataclass
+class ConvergenceStatistics:
+    """Summary statistics of a batch of simulation runs."""
+
+    runs: int
+    converged: int
+    mean_steps: Optional[float]
+    median_steps: Optional[float]
+    max_steps: Optional[int]
+    min_steps: Optional[int]
+    mean_consensus_step: Optional[float]
+
+    @property
+    def convergence_rate(self) -> float:
+        """The fraction of runs that reached a consensus."""
+        if self.runs == 0:
+            return 0.0
+        return self.converged / self.runs
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvergenceStatistics(runs={self.runs}, converged={self.converged}, "
+            f"mean_steps={self.mean_steps}, mean_consensus_step={self.mean_consensus_step})"
+        )
+
+
+def summarize_runs(results: Sequence[SimulationResult]) -> ConvergenceStatistics:
+    """Aggregate a batch of simulation results into convergence statistics."""
+    converged = [result for result in results if result.converged]
+    step_counts = [result.steps for result in results]
+    consensus_steps = [
+        result.consensus_step for result in converged if result.consensus_step is not None
+    ]
+    return ConvergenceStatistics(
+        runs=len(results),
+        converged=len(converged),
+        mean_steps=_stats.fmean(step_counts) if step_counts else None,
+        median_steps=_stats.median(step_counts) if step_counts else None,
+        max_steps=max(step_counts) if step_counts else None,
+        min_steps=min(step_counts) if step_counts else None,
+        mean_consensus_step=_stats.fmean(consensus_steps) if consensus_steps else None,
+    )
+
+
+def accuracy_against_predicate(
+    results: Sequence[SimulationResult],
+    predicate: Predicate,
+    inputs: Configuration,
+) -> float:
+    """The fraction of runs whose consensus equals the predicate value on ``inputs``.
+
+    Runs without a consensus count as incorrect.  A well-specified protocol
+    simulated long enough should score 1.0; lower values indicate either a
+    step budget that is too small or a protocol/predicate mismatch.
+    """
+    if not results:
+        return 0.0
+    expected = predicate.evaluate(inputs)
+    correct = sum(1 for result in results if result.consensus == expected)
+    return correct / len(results)

@@ -1,0 +1,141 @@
+"""Unit tests for repro.analysis.components (Section 6) and reachability helpers."""
+
+import pytest
+
+from repro.analysis import (
+    component_of,
+    enumerate_configurations,
+    enumerate_configurations_up_to,
+    find_bottom_witness,
+    is_bottom,
+    lemma_6_2_word_bound,
+    shortest_distances,
+    strongly_connected_components,
+    theorem_6_1_bound,
+)
+from repro.analysis.components import theorem_6_1_bound_log2
+from repro.core import PetriNet, Transition, from_counts, pairwise
+
+
+@pytest.fixture
+def swap_net():
+    return PetriNet(
+        [
+            pairwise(("i", "i"), ("p", "p"), name="fwd"),
+            pairwise(("p", "p"), ("i", "i"), name="bwd"),
+        ]
+    )
+
+
+@pytest.fixture
+def one_way_net():
+    return PetriNet([pairwise(("i", "i"), ("p", "p"), name="fwd")])
+
+
+class TestEnumeration:
+    def test_enumerate_exact_size(self):
+        configurations = list(enumerate_configurations(["a", "b"], 2))
+        assert len(configurations) == 3  # (2,0), (1,1), (0,2)
+        assert all(c.size == 2 for c in configurations)
+
+    def test_enumerate_up_to(self):
+        configurations = list(enumerate_configurations_up_to(["a", "b"], 2))
+        assert len(configurations) == 6  # sizes 0,1,2 -> 1+2+3
+
+    def test_enumerate_no_states(self):
+        assert list(enumerate_configurations([], 0)) == [from_counts()]
+        assert list(enumerate_configurations([], 3)) == []
+
+
+class TestGraphHelpers:
+    def test_shortest_distances(self, swap_net):
+        graph = swap_net.reachability_graph([from_counts(i=4)])
+        distances = shortest_distances(graph, from_counts(i=4))
+        assert distances[from_counts(i=4)] == 0
+        assert distances[from_counts(p=4)] == 2
+
+    def test_shortest_distances_missing_root(self, swap_net):
+        graph = swap_net.reachability_graph([from_counts(i=2)])
+        assert shortest_distances(graph, from_counts(i=100)) == {}
+
+    def test_strongly_connected_components(self, swap_net, one_way_net):
+        graph = swap_net.reachability_graph([from_counts(i=2)])
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+
+        graph = one_way_net.reachability_graph([from_counts(i=2)])
+        components = strongly_connected_components(graph)
+        assert len(components) == 2
+
+
+class TestComponents:
+    def test_component_of_reversible_net(self, swap_net):
+        component = component_of(swap_net, from_counts(i=2))
+        assert component == {from_counts(i=2), from_counts(p=2)}
+
+    def test_component_of_irreversible_net(self, one_way_net):
+        assert component_of(one_way_net, from_counts(i=2)) == {from_counts(i=2)}
+
+    def test_is_bottom_for_reversible_net(self, swap_net):
+        assert is_bottom(swap_net, from_counts(i=2))
+
+    def test_is_not_bottom_when_an_escape_exists(self, one_way_net):
+        assert not is_bottom(one_way_net, from_counts(i=2))
+        # The sink configuration is bottom.
+        assert is_bottom(one_way_net, from_counts(p=2))
+
+    def test_deadlock_is_bottom(self, one_way_net):
+        assert is_bottom(one_way_net, from_counts(i=1))
+
+
+class TestBottomWitness:
+    def test_witness_on_reversible_net(self, swap_net):
+        witness = find_bottom_witness(swap_net, from_counts(i=2), max_nodes=1000)
+        assert witness is not None
+        assert witness.check(swap_net, from_counts(i=2))
+
+    def test_witness_on_irreversible_net(self, one_way_net):
+        witness = find_bottom_witness(one_way_net, from_counts(i=3), max_nodes=1000)
+        assert witness is not None
+        assert witness.check(one_way_net, from_counts(i=3))
+
+    def test_witness_on_growing_net(self):
+        # a -> a + b: the bottom part is Q = {a} (the component of a alone),
+        # and b can be pumped.
+        net = PetriNet([Transition({"a": 1}, {"a": 1, "b": 1}, name="spawn")])
+        witness = find_bottom_witness(net, from_counts(a=1), max_nodes=200)
+        assert witness is not None
+        assert witness.alpha.agrees_on(witness.beta, witness.places)
+        outside = set(net.states) - set(witness.places)
+        for state in outside:
+            assert witness.alpha[state] < witness.beta[state]
+
+    def test_witness_sizes_below_theorem_bound(self, swap_net):
+        witness = find_bottom_witness(swap_net, from_counts(i=2), max_nodes=1000)
+        bound = theorem_6_1_bound(swap_net, from_counts(i=2))
+        assert len(witness.sigma) <= bound
+        assert len(witness.pump) <= bound
+        assert witness.component_size <= bound
+
+
+class TestBounds:
+    def test_theorem_bound_positive_and_monotone(self, swap_net):
+        small = theorem_6_1_bound(swap_net, from_counts(i=1))
+        large = theorem_6_1_bound(swap_net, from_counts(i=5))
+        assert 1 <= small <= large
+
+    def test_log_bound_matches_exact_bound_for_small_nets(self, swap_net):
+        import math
+
+        exact = theorem_6_1_bound(swap_net, from_counts(i=1))
+        approx = theorem_6_1_bound_log2(swap_net, from_counts(i=1))
+        assert math.isclose(math.log2(exact), approx, rel_tol=1e-9)
+
+    def test_empty_net_bound(self):
+        assert theorem_6_1_bound(PetriNet(), from_counts()) == 1
+        assert theorem_6_1_bound_log2(PetriNet(), from_counts()) == 0.0
+
+    def test_lemma_6_2_word_bound(self, swap_net):
+        bound = lemma_6_2_word_bound(swap_net, from_counts(i=2), component_size=2, remaining_places=1)
+        assert bound >= 1
+        assert lemma_6_2_word_bound(swap_net, from_counts(i=2), 3, 0) == 3

@@ -1,0 +1,169 @@
+"""Unit tests for repro.core.configuration."""
+
+import pytest
+
+from repro.core import Configuration, from_counts, from_sequence, unit, zero
+
+
+class TestConstruction:
+    def test_zero_configuration_is_empty(self):
+        assert zero().size == 0
+        assert zero().is_zero()
+        assert not zero()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Configuration({"a": -1})
+
+    def test_zero_entries_dropped(self):
+        configuration = Configuration({"a": 0, "b": 2})
+        assert "a" not in configuration
+        assert configuration["a"] == 0
+        assert configuration["b"] == 2
+
+    def test_unit_configuration(self):
+        configuration = unit("p")
+        assert configuration["p"] == 1
+        assert configuration.size == 1
+
+    def test_from_counts_keyword_constructor(self):
+        configuration = from_counts(i=3, p=1)
+        assert configuration["i"] == 3
+        assert configuration["p"] == 1
+
+    def test_from_sequence_counts_occurrences(self):
+        configuration = from_sequence(["a", "b", "a", "a"])
+        assert configuration["a"] == 3
+        assert configuration["b"] == 1
+
+    def test_counts_are_copied_not_referenced(self):
+        source = {"a": 1}
+        configuration = Configuration(source)
+        source["a"] = 5
+        assert configuration["a"] == 1
+
+
+class TestMeasures:
+    def test_size_is_number_of_agents(self):
+        assert from_counts(i=3, p=2).size == 5
+
+    def test_max_value_is_infinity_norm(self):
+        assert from_counts(i=3, p=7).max_value == 7
+        assert zero().max_value == 0
+
+    def test_support(self):
+        assert from_counts(i=1, p=2).support == frozenset({"i", "p"})
+
+    def test_len_counts_distinct_states(self):
+        assert len(from_counts(i=1, p=2)) == 2
+
+
+class TestAlgebra:
+    def test_addition_is_componentwise(self):
+        total = from_counts(i=1, p=2) + from_counts(i=3)
+        assert total == from_counts(i=4, p=2)
+
+    def test_addition_with_zero_is_identity(self):
+        configuration = from_counts(i=2)
+        assert configuration + zero() == configuration
+
+    def test_subtraction(self):
+        assert from_counts(i=3, p=1) - from_counts(i=1) == from_counts(i=2, p=1)
+
+    def test_subtraction_going_negative_raises(self):
+        with pytest.raises(ValueError):
+            from_counts(i=1) - from_counts(i=2)
+
+    def test_saturating_subtraction_truncates_at_zero(self):
+        result = from_counts(i=1, p=3).saturating_sub(from_counts(i=5, p=1))
+        assert result == from_counts(p=2)
+
+    def test_scalar_multiplication(self):
+        assert 3 * from_counts(i=2) == from_counts(i=6)
+        assert from_counts(i=2) * 0 == zero()
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            from_counts(i=1) * (-1)
+
+    def test_addition_is_commutative_and_associative(self):
+        a, b, c = from_counts(i=1), from_counts(p=2), from_counts(i=1, q=1)
+        assert a + b == b + a
+        assert (a + b) + c == a + (b + c)
+
+
+class TestOrder:
+    def test_componentwise_order(self):
+        assert from_counts(i=1) <= from_counts(i=2, p=1)
+        assert not from_counts(i=3) <= from_counts(i=2, p=1)
+
+    def test_strict_order(self):
+        assert from_counts(i=1) < from_counts(i=2)
+        assert not from_counts(i=1) < from_counts(i=1)
+
+    def test_covers_is_reverse_order(self):
+        assert from_counts(i=2, p=1).covers(from_counts(i=1))
+
+    def test_zero_is_least_element(self):
+        assert zero() <= from_counts(i=1)
+
+    def test_incomparable_configurations(self):
+        a, b = from_counts(i=1), from_counts(p=1)
+        assert not a <= b
+        assert not b <= a
+
+
+class TestRestriction:
+    def test_restrict_keeps_only_named_states(self):
+        configuration = from_counts(i=2, p=3, q=1)
+        assert configuration.restrict(["i", "q"]) == from_counts(i=2, q=1)
+
+    def test_restrict_to_missing_states_gives_zero(self):
+        assert from_counts(i=2).restrict(["x"]) == zero()
+
+    def test_restrict_to_superset_is_identity(self):
+        configuration = from_counts(i=2)
+        assert configuration.restrict(["i", "other"]) == configuration
+
+    def test_erase_is_complement_of_restrict(self):
+        configuration = from_counts(i=2, p=3)
+        assert configuration.erase(["i"]) == from_counts(p=3)
+
+    def test_agrees_on(self):
+        a = from_counts(i=2, p=3)
+        b = from_counts(i=2, p=5)
+        assert a.agrees_on(b, ["i"])
+        assert not a.agrees_on(b, ["p"])
+
+
+class TestHashingAndEquality:
+    def test_equal_configurations_hash_equal(self):
+        assert hash(from_counts(i=1, p=2)) == hash(Configuration({"p": 2, "i": 1}))
+
+    def test_usable_as_dict_key(self):
+        mapping = {from_counts(i=1): "x"}
+        assert mapping[Configuration({"i": 1})] == "x"
+
+    def test_zero_entries_do_not_affect_equality(self):
+        assert Configuration({"a": 1, "b": 0}) == Configuration({"a": 1})
+
+    def test_set_and_add_return_new_configurations(self):
+        configuration = from_counts(i=1)
+        assert configuration.set("i", 5) == from_counts(i=5)
+        assert configuration.add("p", 2) == from_counts(i=1, p=2)
+        assert configuration == from_counts(i=1)
+
+    def test_set_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            from_counts(i=1).set("i", -1)
+
+
+class TestRendering:
+    def test_pretty_of_zero(self):
+        assert zero().pretty() == "0"
+
+    def test_pretty_uses_paper_notation(self):
+        assert from_counts(i=2, p=1).pretty() == "2.i + p"
+
+    def test_repr_is_stable(self):
+        assert "Configuration" in repr(from_counts(i=1))

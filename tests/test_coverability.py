@@ -1,0 +1,138 @@
+"""Unit tests for repro.analysis.coverability."""
+
+import pytest
+
+from repro.analysis import (
+    KarpMillerTree,
+    backward_coverability,
+    is_coverable,
+    rackoff_bound,
+    rackoff_stabilization_threshold,
+    shortest_covering_word,
+)
+from repro.core import PetriNet, Transition, from_counts, pairwise, unit
+
+
+@pytest.fixture
+def swap_net():
+    return PetriNet(
+        [
+            pairwise(("i", "i"), ("p", "p"), name="fwd"),
+            pairwise(("p", "p"), ("i", "i"), name="bwd"),
+        ]
+    )
+
+
+@pytest.fixture
+def spawn_net():
+    return PetriNet([Transition({"a": 1}, {"a": 1, "b": 1}, name="spawn")])
+
+
+class TestRackoffBound:
+    def test_bound_formula(self, swap_net):
+        # ||target||_inf = 1, ||T||_inf = 2 (the width-2 transitions consume
+        # two agents of the same state), |P| = 2.
+        bound = rackoff_bound(unit("p"), swap_net)
+        assert bound == (1 + 2) ** (2 ** 2)
+
+    def test_bound_grows_with_target_norm(self, swap_net):
+        assert rackoff_bound(from_counts(p=5), swap_net) > rackoff_bound(unit("p"), swap_net)
+
+    def test_zero_base(self):
+        net = PetriNet()
+        assert rackoff_bound(from_counts(), net) == 0
+
+    def test_stabilization_threshold(self, swap_net):
+        assert rackoff_stabilization_threshold(swap_net) == 2 * (1 + 2) ** (2 ** 2)
+
+    def test_bound_dominates_measured_witness(self, swap_net):
+        word = shortest_covering_word(swap_net, from_counts(i=2), unit("p"))
+        assert word is not None
+        assert len(word) <= rackoff_bound(unit("p"), swap_net)
+
+
+class TestBackwardCoverability:
+    def test_coverable_in_conservative_net(self, swap_net):
+        assert backward_coverability(swap_net, from_counts(i=2), unit("p"))
+        assert is_coverable(swap_net, from_counts(i=4), from_counts(p=4))
+
+    def test_not_coverable(self, swap_net):
+        assert not backward_coverability(swap_net, from_counts(i=1), unit("p"))
+        assert not backward_coverability(swap_net, from_counts(i=3), from_counts(p=4))
+
+    def test_coverable_in_unbounded_net(self, spawn_net):
+        assert backward_coverability(spawn_net, from_counts(a=1), from_counts(b=10))
+
+    def test_not_coverable_without_generator(self, spawn_net):
+        assert not backward_coverability(spawn_net, from_counts(b=5), from_counts(a=1))
+
+    def test_target_already_covered(self, swap_net):
+        assert backward_coverability(swap_net, from_counts(p=2), unit("p"))
+
+    def test_agrees_with_forward_search_on_small_instances(self, swap_net):
+        for i in range(5):
+            source = from_counts(i=i)
+            target = from_counts(p=2)
+            backward = backward_coverability(swap_net, source, target)
+            forward = swap_net.find_covering_path(source, target, max_nodes=1000) is not None
+            assert backward == forward
+
+    def test_iteration_guard(self, spawn_net):
+        with pytest.raises(RuntimeError):
+            backward_coverability(
+                spawn_net, from_counts(a=1), from_counts(b=50), max_iterations=1
+            )
+
+
+class TestShortestCoveringWord:
+    def test_witness_is_firable_and_covering(self, swap_net):
+        word = shortest_covering_word(swap_net, from_counts(i=4), from_counts(p=4))
+        assert word is not None
+        final = swap_net.fire_word(from_counts(i=4), word)
+        assert final.covers(from_counts(p=4))
+
+    def test_length_is_minimal(self, swap_net):
+        word = shortest_covering_word(swap_net, from_counts(i=4), from_counts(p=4))
+        assert len(word) == 2
+
+    def test_none_when_not_coverable(self, swap_net):
+        assert shortest_covering_word(swap_net, from_counts(i=1), unit("p"), max_nodes=100) is None
+
+
+class TestKarpMiller:
+    def test_bounded_net(self, swap_net):
+        tree = KarpMillerTree(swap_net, from_counts(i=2))
+        assert tree.is_bounded()
+        assert tree.covers(from_counts(p=2))
+        assert not tree.covers(from_counts(p=3))
+
+    def test_unbounded_net_detected(self, spawn_net):
+        tree = KarpMillerTree(spawn_net, from_counts(a=1))
+        assert not tree.is_bounded()
+        assert tree.place_is_bounded("a")
+        assert not tree.place_is_bounded("b")
+
+    def test_unbounded_net_covers_large_targets(self, spawn_net):
+        tree = KarpMillerTree(spawn_net, from_counts(a=1))
+        assert tree.covers(from_counts(b=1000))
+
+    def test_not_coverable_place(self, spawn_net):
+        tree = KarpMillerTree(spawn_net, from_counts(b=3))
+        assert not tree.covers(from_counts(a=1))
+
+    def test_node_budget(self):
+        # A net with two independent unbounded places grows the tree quickly.
+        net = PetriNet(
+            [
+                Transition({"a": 1}, {"a": 1, "b": 1}),
+                Transition({"a": 1}, {"a": 1, "c": 1}),
+            ]
+        )
+        tree = KarpMillerTree(net, from_counts(a=1))
+        assert len(tree) >= 1
+
+    def test_agrees_with_backward_coverability(self, swap_net):
+        source = from_counts(i=3)
+        for target in (from_counts(p=2), from_counts(p=3), from_counts(p=4)):
+            tree = KarpMillerTree(swap_net, source)
+            assert tree.covers(target) == backward_coverability(swap_net, source, target)

@@ -1,0 +1,208 @@
+"""Unit tests for repro.controlstates.cycles and euler."""
+
+import pytest
+
+from repro.algebra import IntVector
+from repro.controlstates import (
+    ControlStatePetriNet,
+    Cycle,
+    Edge,
+    Multicycle,
+    Path,
+    component_control_net,
+    euler_lemma,
+    eulerian_cycle_from_parikh,
+    is_balanced,
+)
+from repro.core import PetriNet, Transition, from_counts
+
+
+@pytest.fixture
+def ring():
+    """A three-control-state ring with one extra chord edge r0 -> r0."""
+    transitions = [
+        Transition({"r0": 1}, {"r1": 1}, name="t01"),
+        Transition({"r1": 1}, {"r2": 1}, name="t12"),
+        Transition({"r2": 1}, {"r0": 1}, name="t20"),
+        Transition({"r0": 1}, {"r0": 1}, name="loop"),
+    ]
+    net = PetriNet(transitions)
+    configurations = [from_counts(r0=1), from_counts(r1=1), from_counts(r2=1)]
+    control = component_control_net(net, configurations)
+    return control
+
+
+def edges_by_name(control):
+    return {edge.transition.name: edge for edge in control.edges}
+
+
+class TestPath:
+    def test_edges_must_chain(self, ring):
+        edges = edges_by_name(ring)
+        with pytest.raises(ValueError):
+            Path([edges["t01"], edges["t20"]])
+
+    def test_endpoints_and_length(self, ring):
+        edges = edges_by_name(ring)
+        path = Path([edges["t01"], edges["t12"]])
+        assert path.source == from_counts(r0=1)
+        assert path.target == from_counts(r2=1)
+        assert path.length == 2
+
+    def test_empty_path(self):
+        path = Path([])
+        assert path.source is None and path.target is None
+        assert path.length == 0
+
+    def test_control_states_in_order(self, ring):
+        edges = edges_by_name(ring)
+        path = Path([edges["t01"], edges["t12"]])
+        assert path.control_states() == [from_counts(r0=1), from_counts(r1=1), from_counts(r2=1)]
+
+    def test_transitions_label(self, ring):
+        edges = edges_by_name(ring)
+        path = Path([edges["t01"]])
+        assert [t.name for t in path.transitions()] == ["t01"]
+
+    def test_displacement(self, ring):
+        edges = edges_by_name(ring)
+        path = Path([edges["t01"], edges["t12"]])
+        assert path.displacement() == IntVector({"r0": -1, "r2": 1})
+
+    def test_concatenation(self, ring):
+        edges = edges_by_name(ring)
+        combined = Path([edges["t01"]]) + Path([edges["t12"]])
+        assert combined.length == 2
+
+    def test_concatenation_mismatch_raises(self, ring):
+        edges = edges_by_name(ring)
+        with pytest.raises(ValueError):
+            Path([edges["t01"]]) + Path([edges["t01"]])
+
+    def test_is_elementary(self, ring):
+        edges = edges_by_name(ring)
+        assert Path([edges["t01"], edges["t12"]]).is_elementary()
+        assert not Path([edges["loop"]]).is_elementary()
+
+
+class TestCycle:
+    def test_cycle_must_return_to_start(self, ring):
+        edges = edges_by_name(ring)
+        with pytest.raises(ValueError):
+            Cycle([edges["t01"]])
+
+    def test_cycle_must_be_non_empty(self):
+        with pytest.raises(ValueError):
+            Cycle([])
+
+    def test_ring_cycle(self, ring):
+        edges = edges_by_name(ring)
+        cycle = Cycle([edges["t01"], edges["t12"], edges["t20"]])
+        assert cycle.is_simple()
+        assert cycle.displacement() == IntVector.zero()
+
+    def test_totality(self, ring):
+        edges = edges_by_name(ring)
+        partial = Cycle([edges["t01"], edges["t12"], edges["t20"]])
+        assert not partial.is_total(ring)
+        full = Cycle([edges["loop"], edges["t01"], edges["t12"], edges["t20"]])
+        assert full.is_total(ring)
+
+    def test_rotation(self, ring):
+        edges = edges_by_name(ring)
+        cycle = Cycle([edges["t01"], edges["t12"], edges["t20"]])
+        rotated = cycle.rotate_to(from_counts(r1=1))
+        assert rotated.source == from_counts(r1=1)
+        assert rotated.parikh_image() == cycle.parikh_image()
+
+    def test_rotation_to_missing_state_raises(self, ring):
+        edges = edges_by_name(ring)
+        cycle = Cycle([edges["loop"]])
+        with pytest.raises(ValueError):
+            cycle.rotate_to(from_counts(r1=1))
+
+    def test_power(self, ring):
+        edges = edges_by_name(ring)
+        cycle = Cycle([edges["loop"]])
+        assert cycle.power(3).length == 3
+        with pytest.raises(ValueError):
+            cycle.power(0)
+
+    def test_decompose_simple(self, ring):
+        edges = edges_by_name(ring)
+        composite = Cycle(
+            [edges["loop"], edges["t01"], edges["t12"], edges["t20"], edges["loop"]]
+        )
+        simple_cycles = composite.decompose_simple()
+        assert all(cycle.is_simple() for cycle in simple_cycles)
+        total = {}
+        for cycle in simple_cycles:
+            for edge, count in cycle.parikh_image().items():
+                total[edge] = total.get(edge, 0) + count
+        assert total == composite.parikh_image()
+
+
+class TestMulticycle:
+    def test_length_and_parikh(self, ring):
+        edges = edges_by_name(ring)
+        ring_cycle = Cycle([edges["t01"], edges["t12"], edges["t20"]])
+        loop_cycle = Cycle([edges["loop"]])
+        multicycle = Multicycle([ring_cycle, loop_cycle])
+        assert multicycle.length == 4
+        assert multicycle.is_total(ring)
+        assert multicycle.parikh_image()[edges["loop"]] == 1
+
+    def test_displacement_sums(self, ring):
+        edges = edges_by_name(ring)
+        multicycle = Multicycle([Cycle([edges["loop"]]), Cycle([edges["loop"]])])
+        assert multicycle.displacement() == IntVector.zero()
+
+    def test_addition(self, ring):
+        edges = edges_by_name(ring)
+        a = Multicycle([Cycle([edges["loop"]])])
+        b = Multicycle([Cycle([edges["t01"], edges["t12"], edges["t20"]])])
+        assert (a + b).length == 4
+
+
+class TestEuler:
+    def test_is_balanced(self, ring):
+        edges = edges_by_name(ring)
+        cycle = Cycle([edges["t01"], edges["t12"], edges["t20"]])
+        assert is_balanced(cycle.parikh_image())
+        assert not is_balanced({edges["t01"]: 1})
+
+    def test_eulerian_cycle_matches_parikh_image(self, ring):
+        edges = edges_by_name(ring)
+        multicycle = Multicycle(
+            [Cycle([edges["t01"], edges["t12"], edges["t20"]]), Cycle([edges["loop"]])]
+        )
+        cycle = eulerian_cycle_from_parikh(multicycle.parikh_image())
+        assert cycle.parikh_image() == multicycle.parikh_image()
+
+    def test_euler_lemma_requires_totality(self, ring):
+        edges = edges_by_name(ring)
+        multicycle = Multicycle([Cycle([edges["loop"]])])
+        with pytest.raises(ValueError):
+            euler_lemma(ring, multicycle)
+
+    def test_euler_lemma_produces_total_cycle(self, ring):
+        edges = edges_by_name(ring)
+        multicycle = Multicycle(
+            [
+                Cycle([edges["t01"], edges["t12"], edges["t20"]]),
+                Cycle([edges["loop"]]),
+                Cycle([edges["loop"]]),
+            ]
+        )
+        cycle = euler_lemma(ring, multicycle)
+        assert cycle.is_total(ring)
+        assert cycle.parikh_image() == multicycle.parikh_image()
+
+    def test_empty_parikh_rejected(self):
+        with pytest.raises(ValueError):
+            eulerian_cycle_from_parikh({})
+
+    def test_unbalanced_parikh_rejected(self, ring):
+        edges = edges_by_name(ring)
+        with pytest.raises(ValueError):
+            eulerian_cycle_from_parikh({edges["t01"]: 2, edges["t12"]: 1, edges["t20"]: 1})

@@ -1,0 +1,130 @@
+"""Unit tests for repro.algebra.diophantine (Pottier / Hilbert basis)."""
+
+import pytest
+
+from repro.algebra import (
+    HomogeneousSystem,
+    IntVector,
+    decompose_solution,
+    hilbert_basis,
+    pottier_norm_bound,
+)
+
+
+def make_system(columns):
+    return HomogeneousSystem({name: IntVector(entries) for name, entries in columns.items()})
+
+
+class TestHomogeneousSystem:
+    def test_value_and_is_solution(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": -1}})
+        assert system.is_solution(IntVector({"x": 2, "y": 2}))
+        assert not system.is_solution(IntVector({"x": 2, "y": 1}))
+
+    def test_negative_assignment_is_not_a_solution(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": -1}})
+        assert not system.is_solution(IntVector({"x": -1, "y": -1}))
+
+    def test_requires_at_least_one_variable(self):
+        with pytest.raises(ValueError):
+            HomogeneousSystem({})
+
+    def test_pottier_bound_positive(self):
+        system = make_system({"x": {"eq": 3}, "y": {"eq": -2}})
+        assert system.pottier_bound() == (2 + 5) ** 1
+
+
+class TestHilbertBasis:
+    def test_simple_balance_equation(self):
+        # x - y = 0 over N^2: the unique minimal solution is (1, 1).
+        system = make_system({"x": {"eq": 1}, "y": {"eq": -1}})
+        assert hilbert_basis(system) == [IntVector({"x": 1, "y": 1})]
+
+    def test_weighted_balance_equation(self):
+        # 2x - 3y = 0: minimal solution (3, 2).
+        system = make_system({"x": {"eq": 2}, "y": {"eq": -3}})
+        assert hilbert_basis(system) == [IntVector({"x": 3, "y": 2})]
+
+    def test_three_variable_equation(self):
+        # x + y - z = 0: minimal solutions (1,0,1) and (0,1,1).
+        system = make_system({"x": {"eq": 1}, "y": {"eq": 1}, "z": {"eq": -1}})
+        basis = set(hilbert_basis(system))
+        assert basis == {IntVector({"x": 1, "z": 1}), IntVector({"y": 1, "z": 1})}
+
+    def test_no_nontrivial_solutions(self):
+        # x + y = 0 over N^2 has only the zero solution.
+        system = make_system({"x": {"eq": 1}, "y": {"eq": 1}})
+        assert hilbert_basis(system) == []
+
+    def test_two_equations(self):
+        # x = y and y = z: minimal solution (1,1,1).
+        system = make_system(
+            {"x": {"e1": 1}, "y": {"e1": -1, "e2": 1}, "z": {"e2": -1}}
+        )
+        assert hilbert_basis(system) == [IntVector({"x": 1, "y": 1, "z": 1})]
+
+    def test_every_basis_element_is_a_solution(self):
+        system = make_system(
+            {"a": {"e": 2, "f": 1}, "b": {"e": -1, "f": 1}, "c": {"e": 0, "f": -2}}
+        )
+        for element in hilbert_basis(system):
+            assert system.is_solution(element)
+
+    def test_basis_elements_are_pairwise_incomparable(self):
+        system = make_system(
+            {"a": {"e": 2, "f": 1}, "b": {"e": -1, "f": 1}, "c": {"e": 0, "f": -2}}
+        )
+        basis = hilbert_basis(system)
+        for i, first in enumerate(basis):
+            for j, second in enumerate(basis):
+                if i != j:
+                    assert not first <= second
+
+    def test_norms_respect_pottier_bound(self):
+        system = make_system(
+            {"a": {"e": 2, "f": 1}, "b": {"e": -1, "f": 1}, "c": {"e": 0, "f": -2}}
+        )
+        bound = system.pottier_bound()
+        for element in hilbert_basis(system):
+            assert element.norm1 <= bound
+
+    def test_max_solutions_guard(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": -1}})
+        # One minimal solution exists; a guard of 0 must trip.
+        with pytest.raises(RuntimeError):
+            hilbert_basis(system, max_solutions=0)
+
+
+class TestDecomposition:
+    def test_decomposition_sums_back_to_the_solution(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": 1}, "z": {"eq": -1}})
+        solution = IntVector({"x": 2, "y": 3, "z": 5})
+        parts = decompose_solution(system, solution)
+        total = IntVector.zero()
+        for part in parts:
+            total = total + part
+        assert total == solution
+
+    def test_decomposition_parts_are_minimal_solutions(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": 1}, "z": {"eq": -1}})
+        basis = set(hilbert_basis(system))
+        parts = decompose_solution(system, IntVector({"x": 1, "y": 2, "z": 3}))
+        assert all(part in basis for part in parts)
+
+    def test_zero_solution_decomposes_into_nothing(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": -1}})
+        assert decompose_solution(system, IntVector.zero()) == []
+
+    def test_non_solution_rejected(self):
+        system = make_system({"x": {"eq": 1}, "y": {"eq": -1}})
+        with pytest.raises(ValueError):
+            decompose_solution(system, IntVector({"x": 1}))
+
+
+class TestPottierBound:
+    def test_bound_formula(self):
+        columns = [IntVector({"e": 3}), IntVector({"e": -1, "f": 2})]
+        assert pottier_norm_bound(columns, 2) == (2 + 3 + 2) ** 2
+
+    def test_bound_with_no_equations_still_positive(self):
+        assert pottier_norm_bound([], 0) >= 1

@@ -1,0 +1,147 @@
+"""Tests for the experiment harness and the E1..E8 experiment definitions."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentTable,
+    experiment_e1_state_counts,
+    experiment_e2_theorem_4_3,
+    experiment_e3_lower_bounds,
+    experiment_e4_rackoff,
+    experiment_e5_stability,
+    experiment_e6_bottom,
+    experiment_e7_cycles,
+    experiment_e8_verification,
+    registry,
+)
+
+
+class TestHarness:
+    def test_add_row_requires_all_columns(self):
+        table = ExperimentTable("X", "test", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1)
+        table.add_row(a=1, b=2)
+        assert len(table) == 1
+
+    def test_column_extraction(self):
+        table = ExperimentTable("X", "test", columns=["a"])
+        table.add_row(a=1)
+        table.add_row(a=2)
+        assert table.column("a") == [1, 2]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_render_contains_header_and_rows(self):
+        table = ExperimentTable("X", "test title", columns=["a"], notes="a note")
+        table.add_row(a=3.14159)
+        text = table.render()
+        assert "X: test title" in text
+        assert "3.14" in text
+        assert "a note" in text
+
+    def test_registry_contains_all_experiments(self):
+        assert set(registry.ids()) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+
+    def test_registry_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            registry.run("E99")
+
+    def test_registry_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            registry.register("E1")(lambda: None)
+
+
+class TestExperimentE1:
+    def test_shape_and_monotonicity(self):
+        table = experiment_e1_state_counts(thresholds=(4, 16, 256, 65536), build_protocols_up_to=32)
+        assert len(table) == 4
+        classic = table.column("classic (n+1)")
+        succinct = table.column("BEJ leaderless O(log n)")
+        loglog = table.column("BEJ leaders O(log log n)")
+        # The shape the paper is about: classic >> log n >> log log n for large n.
+        assert classic[-1] > succinct[-1] > loglog[-1]
+        # Examples 4.1 / 4.2 have constant state counts.
+        assert set(table.column("example 4.1 (width n)")) == {2}
+        assert set(table.column("example 4.2 (n leaders)")) == {6}
+
+    def test_lower_bound_never_exceeds_upper_bound(self):
+        table = experiment_e1_state_counts(thresholds=(2 ** 16, 2 ** 64), build_protocols_up_to=1)
+        lower = table.column("Cor. 4.4 lower bound (h=0.49)")
+        upper = table.column("BEJ leaderless O(log n)")
+        assert all(l <= u for l, u in zip(lower, upper))
+
+
+class TestExperimentE2:
+    def test_log_log_bound_grows_with_states(self):
+        table = experiment_e2_theorem_4_3(state_counts=(1, 2, 3, 4, 8), bound_parameters=(2,))
+        values = table.column("log2 log2 bound (m=2)")
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+
+class TestExperimentE3:
+    def test_paper_bound_eventually_dominates_czerner_esparza(self):
+        # The inverse-Ackermann bound is stuck at <= 3; the paper's bound grows
+        # like (log log n)^h and overtakes it for huge n (around j ~ 30 for
+        # h = 0.49 and m = 2).
+        table = experiment_e3_lower_bounds(exponents=(6, 40, 80))
+        leroux = table.column("Leroux h=0.49")
+        czerner = table.column("Czerner-Esparza A^{-1}(n)")
+        assert all(c <= 3 for c in czerner)
+        assert leroux[-1] > czerner[-1]
+        # Monotone growth of the paper's bound along the family.
+        assert leroux[0] <= leroux[1] <= leroux[2]
+
+    def test_lower_bounds_below_upper_bound(self):
+        table = experiment_e3_lower_bounds(exponents=(6, 10, 16))
+        leroux = table.column("Leroux h=0.49")
+        upper = table.column("BEJ upper (leaders)")
+        assert all(l <= u for l, u in zip(leroux, upper))
+
+
+class TestExperimentE4:
+    def test_measured_lengths_below_rackoff_bound(self):
+        table = experiment_e4_rackoff()
+        import math
+
+        for row in table.rows:
+            assert row["measured length"] >= 0
+            assert math.log2(max(row["measured length"], 1)) <= row["log2 Rackoff bound"]
+
+
+class TestExperimentE5:
+    def test_certificates_agree_with_exact_checks(self):
+        table = experiment_e5_stability(leader_counts=(1, 2), extra_agents=2)
+        for row in table.rows:
+            assert row["certified"] == row["agreement"]
+            assert row["certified"] <= row["checked"]
+
+
+class TestExperimentE6:
+    def test_witness_found_and_small(self):
+        table = experiment_e6_bottom(leader_counts=(1,), max_nodes=5000)
+        (row,) = table.rows
+        assert row["|sigma|"] >= 0
+        assert row["component size"] >= 1
+        # The measured sizes are minuscule compared to the bound b.
+        assert row["|sigma|"] + row["|w|"] + row["component size"] < row["log2 bound b"]
+
+
+class TestExperimentE7:
+    def test_total_cycles_within_bound(self):
+        table = experiment_e7_cycles()
+        assert len(table) >= 2
+        assert all(row["within bound"] for row in table.rows)
+
+
+class TestExperimentE8:
+    def test_all_constructions_verify(self):
+        table = experiment_e8_verification(
+            flock_thresholds=(1, 2),
+            example_4_1_thresholds=(1, 2),
+            example_4_2_thresholds=(1,),
+            succinct_thresholds=(2, 3),
+            extra_agents=1,
+        )
+        assert all(row["failures"] == 0 for row in table.rows)
+        assert all(row["inputs"] > 0 for row in table.rows)

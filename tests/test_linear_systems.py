@@ -1,0 +1,101 @@
+"""Unit tests for repro.algebra.linear_systems (the Lemma 7.3 sign system)."""
+
+import pytest
+
+from repro.algebra import IntVector, SignSystem, SignSystemSolution
+
+
+@pytest.fixture
+def simple_system():
+    """Two places, two actions: a1 = (+1, -1), a2 = (-1, +1)."""
+    actions = {
+        "a1": IntVector({"p": 1, "q": -1}),
+        "a2": IntVector({"p": -1, "q": 1}),
+    }
+    signs = {"p": 1, "q": 1}
+    return SignSystem(["p", "q"], actions, signs)
+
+
+class TestConstruction:
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(ValueError):
+            SignSystem(["p"], {"a": IntVector({"p": 1})}, {"p": 0})
+
+    def test_missing_sign_defaults_to_positive(self):
+        system = SignSystem(["p"], {"a": IntVector({"p": 1})}, {})
+        assert system.signs["p"] == 1
+
+    def test_repr(self, simple_system):
+        assert "places=2" in repr(simple_system)
+
+
+class TestSolutions:
+    def test_balanced_combination_is_a_solution(self, simple_system):
+        # alpha = 0, one of each action: displacements cancel.
+        solution = simple_system.make_solution({}, {"a1": 1, "a2": 1})
+        assert simple_system.is_solution(solution)
+
+    def test_unbalanced_combination_is_not_a_solution(self, simple_system):
+        solution = simple_system.make_solution({}, {"a1": 1})
+        assert not simple_system.is_solution(solution)
+
+    def test_alpha_absorbs_positive_displacement(self, simple_system):
+        # One a1 only: displacement (+1, -1); with signs (+, +) the q equation
+        # cannot be satisfied by a non-negative alpha, so not a solution.
+        assert not simple_system.is_solution(simple_system.make_solution({"p": 1}, {"a1": 1}))
+
+    def test_solution_with_negative_sign(self):
+        system = SignSystem(
+            ["p"], {"a": IntVector({"p": -2})}, {"p": -1}
+        )
+        # -1 * alpha(p) = beta(a) * (-2)  =>  alpha(p) = 2 beta(a).
+        assert system.is_solution(system.make_solution({"p": 2}, {"a": 1}))
+
+    def test_solution_from_multicycle(self, simple_system):
+        displacement = IntVector({"p": 0, "q": 0})
+        solution = simple_system.solution_from_multicycle(displacement, {"a1": 2, "a2": 2})
+        assert simple_system.is_solution(solution)
+        assert solution.norm1 == 4
+
+
+class TestMinimalSolutionsAndDecomposition:
+    def test_minimal_solutions_are_solutions(self, simple_system):
+        for solution in simple_system.minimal_solutions():
+            assert simple_system.is_solution(solution)
+
+    def test_expected_minimal_solution_present(self, simple_system):
+        minimal = simple_system.minimal_solutions()
+        target = SignSystemSolution(IntVector.zero(), IntVector({"a1": 1, "a2": 1}))
+        assert target in minimal
+
+    def test_decompose_recovers_the_sum(self, simple_system):
+        solution = simple_system.make_solution({}, {"a1": 3, "a2": 3})
+        parts = simple_system.decompose(solution)
+        total = SignSystemSolution(IntVector.zero(), IntVector.zero())
+        for part in parts:
+            total = total + part
+        assert total == solution
+
+    def test_pottier_bound_dominates_minimal_norms(self, simple_system):
+        bound = simple_system.pottier_bound()
+        for solution in simple_system.minimal_solutions():
+            assert solution.norm1 <= bound
+
+
+class TestSolutionAlgebra:
+    def test_addition(self):
+        a = SignSystemSolution(IntVector({"p": 1}), IntVector({"a": 2}))
+        b = SignSystemSolution(IntVector({"q": 1}), IntVector({"a": 1}))
+        total = a + b
+        assert total.alpha == IntVector({"p": 1, "q": 1})
+        assert total.beta == IntVector({"a": 3})
+
+    def test_norm1(self):
+        solution = SignSystemSolution(IntVector({"p": 2}), IntVector({"a": 3}))
+        assert solution.norm1 == 5
+
+    def test_equality_and_hash(self):
+        a = SignSystemSolution(IntVector({"p": 1}), IntVector({"a": 1}))
+        b = SignSystemSolution(IntVector({"p": 1}), IntVector({"a": 1}))
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.predicates."""
+
+import pytest
+
+from repro.core import (
+    AndPredicate,
+    ConstantPredicate,
+    CountingPredicate,
+    ModuloPredicate,
+    NotPredicate,
+    OrPredicate,
+    ThresholdPredicate,
+    counting,
+    from_counts,
+    zero,
+)
+
+
+class TestCountingPredicate:
+    def test_true_at_and_above_threshold(self):
+        predicate = counting("i", 3)
+        assert predicate(from_counts(i=3)) == 1
+        assert predicate(from_counts(i=5)) == 1
+
+    def test_false_below_threshold(self):
+        predicate = counting("i", 3)
+        assert predicate(from_counts(i=2)) == 0
+        assert predicate(zero()) == 0
+
+    def test_initial_states_is_singleton(self):
+        assert counting("i", 2).initial_states == frozenset({"i"})
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CountingPredicate("i", 0)
+
+    def test_equality_and_hash(self):
+        assert counting("i", 2) == CountingPredicate("i", 2)
+        assert hash(counting("i", 2)) == hash(CountingPredicate("i", 2))
+        assert counting("i", 2) != counting("i", 3)
+
+
+class TestThresholdPredicate:
+    def test_linear_combination(self):
+        predicate = ThresholdPredicate({"a": 2, "b": -1}, 3)
+        assert predicate(from_counts(a=2, b=1)) == 1  # 4 - 1 >= 3
+        assert predicate(from_counts(a=1, b=0)) == 0  # 2 < 3
+
+    def test_initial_states_are_coefficient_keys(self):
+        predicate = ThresholdPredicate({"a": 1, "b": -1}, 0)
+        assert predicate.initial_states == frozenset({"a", "b"})
+
+    def test_counting_is_special_case_of_threshold(self):
+        threshold = ThresholdPredicate({"i": 1}, 4)
+        count = counting("i", 4)
+        for k in range(8):
+            assert threshold(from_counts(i=k)) == count(from_counts(i=k))
+
+
+class TestModuloPredicate:
+    def test_remainder(self):
+        predicate = ModuloPredicate({"a": 1}, 3, 1)
+        assert predicate(from_counts(a=1)) == 1
+        assert predicate(from_counts(a=4)) == 1
+        assert predicate(from_counts(a=3)) == 0
+
+    def test_remainder_normalized(self):
+        predicate = ModuloPredicate({"a": 1}, 3, 4)
+        assert predicate.remainder == 1
+
+    def test_modulus_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            ModuloPredicate({"a": 1}, 1, 0)
+
+    def test_coefficients(self):
+        predicate = ModuloPredicate({"a": 2, "b": 1}, 4, 0)
+        assert predicate(from_counts(a=1, b=2)) == 1  # 2 + 2 = 4 = 0 mod 4
+
+
+class TestBooleanCombinations:
+    def test_negation(self):
+        predicate = ~counting("i", 2)
+        assert predicate(from_counts(i=1)) == 1
+        assert predicate(from_counts(i=2)) == 0
+
+    def test_conjunction(self):
+        predicate = counting("a", 1) & counting("b", 1)
+        assert predicate(from_counts(a=1, b=1)) == 1
+        assert predicate(from_counts(a=1)) == 0
+
+    def test_disjunction(self):
+        predicate = counting("a", 1) | counting("b", 1)
+        assert predicate(from_counts(a=1)) == 1
+        assert predicate(from_counts(b=1)) == 1
+        assert predicate(zero()) == 0
+
+    def test_combined_initial_states(self):
+        predicate = counting("a", 1) & counting("b", 1)
+        assert predicate.initial_states == frozenset({"a", "b"})
+
+    def test_de_morgan_on_samples(self):
+        a, b = counting("a", 2), counting("b", 1)
+        lhs = ~(a & b)
+        rhs = (~a) | (~b)
+        for x in range(4):
+            for y in range(3):
+                configuration = from_counts(a=x, b=y)
+                assert lhs(configuration) == rhs(configuration)
+
+    def test_constant_predicate(self):
+        assert ConstantPredicate(1)(zero()) == 1
+        assert ConstantPredicate(0)(from_counts(a=5)) == 0
+        with pytest.raises(ValueError):
+            ConstantPredicate(2)
+
+    def test_explicit_wrappers(self):
+        assert isinstance(~counting("a", 1), NotPredicate)
+        assert isinstance(counting("a", 1) & counting("b", 1), AndPredicate)
+        assert isinstance(counting("a", 1) | counting("b", 1), OrPredicate)
+
+
+class TestEnumeration:
+    def test_enumerate_inputs_counts(self):
+        predicate = counting("i", 2)
+        inputs = list(predicate.enumerate_inputs(3))
+        assert len(inputs) == 4  # 0, 1, 2, 3 agents in state i
+
+    def test_enumerate_inputs_two_states(self):
+        predicate = counting("a", 1) & counting("b", 1)
+        inputs = list(predicate.enumerate_inputs(2))
+        # configurations over {a, b} with at most 2 agents: 1 + 2 + 3 = 6
+        assert len(inputs) == 6
+        assert len(set(inputs)) == 6

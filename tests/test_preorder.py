@@ -1,0 +1,87 @@
+"""Unit tests for repro.core.preorder."""
+
+import pytest
+
+from repro.core import (
+    PetriNet,
+    PetriNetPreorder,
+    RelationPreorder,
+    from_counts,
+    pairwise,
+)
+from repro.core.preorder import check_additivity
+
+
+@pytest.fixture
+def net():
+    return PetriNet(
+        [
+            pairwise(("i", "i"), ("p", "p"), name="fwd"),
+            pairwise(("p", "p"), ("i", "i"), name="bwd"),
+        ]
+    )
+
+
+class TestPetriNetPreorder:
+    def test_width_matches_net(self, net):
+        assert PetriNetPreorder(net).width == 2
+
+    def test_relates_uses_reachability(self, net):
+        preorder = PetriNetPreorder(net)
+        assert preorder.relates(from_counts(i=2), from_counts(p=2))
+        assert not preorder.relates(from_counts(i=1), from_counts(p=1))
+
+    def test_relates_is_reflexive(self, net):
+        preorder = PetriNetPreorder(net)
+        assert preorder.relates(from_counts(i=1), from_counts(i=1))
+
+    def test_successors(self, net):
+        preorder = PetriNetPreorder(net)
+        assert set(preorder.successors(from_counts(i=2))) == {from_counts(p=2)}
+
+    def test_witness_is_firable(self, net):
+        preorder = PetriNetPreorder(net)
+        word = preorder.witness(from_counts(i=2), from_counts(p=2))
+        assert word is not None
+        assert net.fire_word(from_counts(i=2), word) == from_counts(p=2)
+
+    def test_reachable_from(self, net):
+        preorder = PetriNetPreorder(net)
+        reachable = preorder.reachable_from(from_counts(i=2))
+        assert reachable == {from_counts(i=2), from_counts(p=2)}
+
+    def test_additivity_spot_check(self, net):
+        preorder = PetriNetPreorder(net)
+        pairs = [(from_counts(i=2), from_counts(p=2))]
+        paddings = [from_counts(i=1), from_counts(p=3), from_counts(i=1, p=1)]
+        assert check_additivity(preorder, pairs, paddings)
+
+
+class TestRelationPreorder:
+    def test_relates_via_callable(self):
+        preorder = RelationPreorder(lambda a, b: a.size == b.size, width=None)
+        assert preorder.relates(from_counts(i=2), from_counts(p=2))
+        assert not preorder.relates(from_counts(i=2), from_counts(p=1))
+
+    def test_width_can_be_unbounded(self):
+        preorder = RelationPreorder(lambda a, b: True, width=None)
+        assert preorder.width is None
+        assert "omega" in repr(preorder)
+
+    def test_successors_default_to_empty(self):
+        preorder = RelationPreorder(lambda a, b: True)
+        assert list(preorder.successors(from_counts(i=1))) == []
+
+    def test_successor_function_used_when_given(self):
+        preorder = RelationPreorder(
+            lambda a, b: True,
+            successor_fn=lambda c: [c + from_counts(x=1)],
+            width=1,
+        )
+        (successor,) = list(preorder.successors(from_counts(i=1)))
+        assert successor == from_counts(i=1, x=1)
+
+    def test_conservativity_spot_check(self):
+        preorder = RelationPreorder(lambda a, b: a.size == b.size)
+        samples = [(from_counts(i=2), from_counts(p=2))]
+        assert preorder.is_conservative_on(samples)

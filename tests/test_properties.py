@@ -1,0 +1,193 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import HomogeneousSystem, IntVector, decompose_solution, hilbert_basis
+from repro.core import Configuration, PetriNet, Transition, pairwise
+
+STATES = ["a", "b", "c", "d"]
+
+
+def configurations(max_count: int = 6):
+    return st.builds(
+        Configuration,
+        st.dictionaries(st.sampled_from(STATES), st.integers(min_value=0, max_value=max_count)),
+    )
+
+
+def int_vectors(max_abs: int = 5):
+    return st.builds(
+        IntVector,
+        st.dictionaries(st.sampled_from(STATES), st.integers(min_value=-max_abs, max_value=max_abs)),
+    )
+
+
+def transitions():
+    return st.builds(Transition, configurations(3), configurations(3))
+
+
+class TestConfigurationProperties:
+    @given(configurations(), configurations())
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(configurations(), configurations(), configurations())
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(configurations())
+    def test_zero_is_identity(self, a):
+        assert a + Configuration.zero() == a
+
+    @given(configurations(), configurations())
+    def test_size_is_additive(self, a, b):
+        assert (a + b).size == a.size + b.size
+
+    @given(configurations(), configurations())
+    def test_subtraction_inverts_addition(self, a, b):
+        assert (a + b) - b == a
+
+    @given(configurations(), st.integers(min_value=0, max_value=5))
+    def test_scalar_multiplication_matches_repeated_addition(self, a, k):
+        total = Configuration.zero()
+        for _ in range(k):
+            total = total + a
+        assert k * a == total
+
+    @given(configurations(), configurations())
+    def test_order_is_antisymmetric(self, a, b):
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(configurations(), configurations(), configurations())
+    def test_order_is_additive(self, a, b, c):
+        if a <= b:
+            assert a + c <= b + c
+
+    @given(configurations(), st.sets(st.sampled_from(STATES)))
+    def test_restrict_erase_partition(self, a, states):
+        assert a.restrict(states) + a.erase(states) == a
+
+    @given(configurations())
+    def test_hash_consistent_with_equality(self, a):
+        clone = Configuration(a.to_dict())
+        assert a == clone
+        assert hash(a) == hash(clone)
+
+
+class TestIntVectorProperties:
+    @given(int_vectors(), int_vectors())
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(int_vectors())
+    def test_negation_is_involutive(self, a):
+        assert -(-a) == a
+
+    @given(int_vectors(), int_vectors())
+    def test_triangle_inequality_for_norm1(self, a, b):
+        assert (a + b).norm1 <= a.norm1 + b.norm1
+
+    @given(int_vectors())
+    def test_norm_inf_below_norm1(self, a):
+        assert a.norm_inf <= a.norm1
+
+    @given(int_vectors(), int_vectors())
+    def test_dot_product_symmetry(self, a, b):
+        assert a.dot(b) == b.dot(a)
+
+
+class TestTransitionProperties:
+    @given(transitions(), configurations())
+    def test_firing_preserves_displacement(self, transition, context):
+        source = transition.pre + context
+        target = transition.fire(source)
+        delta = transition.displacement()
+        for state in set(source.support) | set(target.support) | set(delta):
+            assert target[state] - source[state] == delta.get(state, 0)
+
+    @given(transitions(), configurations(), configurations())
+    def test_firing_is_additive(self, transition, context, padding):
+        # alpha --t--> beta implies alpha + rho --t--> beta + rho.
+        source = transition.pre + context
+        target = transition.fire(source)
+        assert transition.fire(source + padding) == target + padding
+
+    @given(transitions(), configurations())
+    def test_reverse_undoes_firing(self, transition, context):
+        source = transition.pre + context
+        target = transition.fire(source)
+        assert transition.reverse().fire(target) == source
+
+    @given(transitions(), configurations())
+    def test_conservative_transitions_preserve_size(self, transition, context):
+        source = transition.pre + context
+        if transition.is_conservative():
+            assert transition.fire(source).size == source.size
+
+
+class TestPetriNetProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=4))
+    def test_conservative_net_preserves_population(self, i_count, p_count):
+        net = PetriNet(
+            [
+                pairwise(("i", "i"), ("p", "p")),
+                pairwise(("p", "i"), ("i", "i")),
+            ]
+        )
+        root = Configuration({"i": i_count, "p": p_count})
+        for configuration in net.reachable_set([root]):
+            assert configuration.size == root.size
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=5))
+    def test_reachability_is_reflexive_and_transitive(self, count):
+        net = PetriNet([pairwise(("i", "i"), ("p", "p")), pairwise(("p", "p"), ("i", "i"))])
+        root = Configuration({"i": count})
+        reachable = net.reachable_set([root])
+        assert root in reachable
+        # Transitivity: anything reachable from a reachable configuration is reachable.
+        for configuration in reachable:
+            assert net.reachable_set([configuration]) <= reachable
+
+
+class TestHilbertBasisProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-3, max_value=3), min_size=2, max_size=4),
+    )
+    def test_basis_elements_are_minimal_solutions(self, coefficients):
+        columns = {
+            f"x{i}": IntVector({"eq": value}) for i, value in enumerate(coefficients)
+        }
+        system = HomogeneousSystem(columns)
+        basis = hilbert_basis(system)
+        for element in basis:
+            assert system.is_solution(element)
+            assert not element.is_zero()
+        for i, first in enumerate(basis):
+            for j, second in enumerate(basis):
+                if i != j:
+                    assert not first <= second
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-2, max_value=2), min_size=2, max_size=3),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_scaled_basis_elements_decompose(self, coefficients, scale):
+        columns = {
+            f"x{i}": IntVector({"eq": value}) for i, value in enumerate(coefficients)
+        }
+        system = HomogeneousSystem(columns)
+        basis = hilbert_basis(system)
+        if not basis:
+            return
+        solution = scale * basis[0]
+        parts = decompose_solution(system, solution, basis)
+        total = IntVector.zero()
+        for part in parts:
+            total = total + part
+        assert total == solution

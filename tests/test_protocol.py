@@ -1,0 +1,150 @@
+"""Unit tests for repro.core.protocol."""
+
+import pytest
+
+from repro.core import (
+    Configuration,
+    OUTPUT_ONE,
+    OUTPUT_UNDEFINED,
+    OUTPUT_ZERO,
+    PetriNet,
+    PetriNetPreorder,
+    Protocol,
+    from_counts,
+    pairwise,
+    zero,
+)
+
+
+@pytest.fixture
+def simple_protocol():
+    net = PetriNet([pairwise(("i", "i"), ("p", "p"))])
+    return Protocol.from_petri_net(
+        net,
+        leaders=zero(),
+        initial_states=["i"],
+        output={"i": OUTPUT_ZERO, "p": OUTPUT_ONE},
+        name="simple",
+    )
+
+
+@pytest.fixture
+def leader_protocol():
+    net = PetriNet([pairwise(("i", "L"), ("p", "L"))])
+    return Protocol.from_petri_net(
+        net,
+        leaders=from_counts(L=2),
+        initial_states=["i"],
+        output={"i": OUTPUT_ZERO, "p": OUTPUT_ONE, "L": OUTPUT_UNDEFINED},
+        name="with-leaders",
+    )
+
+
+class TestConstruction:
+    def test_measures(self, simple_protocol):
+        assert simple_protocol.num_states == 2
+        assert simple_protocol.num_leaders == 0
+        assert simple_protocol.width == 2
+        assert simple_protocol.is_leaderless()
+
+    def test_leader_protocol_measures(self, leader_protocol):
+        assert leader_protocol.num_leaders == 2
+        assert not leader_protocol.is_leaderless()
+
+    def test_missing_output_rejected(self):
+        net = PetriNet([pairwise(("i", "i"), ("p", "p"))])
+        with pytest.raises(ValueError):
+            Protocol.from_petri_net(net, zero(), ["i"], output={"i": OUTPUT_ZERO})
+
+    def test_invalid_output_value_rejected(self):
+        net = PetriNet([pairwise(("i", "i"), ("p", "p"))])
+        with pytest.raises(ValueError):
+            Protocol.from_petri_net(net, zero(), ["i"], output={"i": 0, "p": 7})
+
+    def test_leaders_outside_states_rejected(self):
+        net = PetriNet([pairwise(("i", "i"), ("p", "p"))])
+        with pytest.raises(ValueError):
+            Protocol.from_petri_net(
+                net, from_counts(x=1), ["i"], output={"i": 0, "p": 1}
+            )
+
+    def test_empty_state_set_rejected(self):
+        preorder = PetriNetPreorder(PetriNet())
+        with pytest.raises(ValueError):
+            Protocol([], preorder, zero(), [], {})
+
+    def test_extra_states_added(self):
+        net = PetriNet([pairwise(("i", "i"), ("p", "p"))])
+        protocol = Protocol.from_petri_net(
+            net,
+            zero(),
+            ["i"],
+            output={"i": 0, "p": 1, "q": 1},
+            extra_states=["q"],
+        )
+        assert protocol.num_states == 3
+
+    def test_petri_net_accessor(self, simple_protocol):
+        assert simple_protocol.petri_net is not None
+        assert simple_protocol.petri_net.num_transitions == 1
+
+
+class TestOutputs:
+    def test_configuration_output_collects_populated_states(self, leader_protocol):
+        outputs = leader_protocol.configuration_output(from_counts(i=1, L=1))
+        assert outputs == {OUTPUT_ZERO, OUTPUT_UNDEFINED}
+
+    def test_consensus_one_requires_all_ones(self, simple_protocol):
+        assert simple_protocol.has_consensus(from_counts(p=3), OUTPUT_ONE)
+        assert not simple_protocol.has_consensus(from_counts(p=3, i=1), OUTPUT_ONE)
+
+    def test_consensus_zero_accepts_empty_configuration(self, simple_protocol):
+        # The paper interprets the zero configuration as output 0.
+        assert simple_protocol.has_consensus(zero(), OUTPUT_ZERO)
+        assert not simple_protocol.has_consensus(zero(), OUTPUT_ONE)
+
+    def test_undefined_output_blocks_both_consensuses(self, leader_protocol):
+        configuration = from_counts(L=1)
+        assert not leader_protocol.has_consensus(configuration, OUTPUT_ZERO)
+        assert not leader_protocol.has_consensus(configuration, OUTPUT_ONE)
+
+    def test_consensus_invalid_value(self, simple_protocol):
+        with pytest.raises(ValueError):
+            simple_protocol.has_consensus(zero(), 2)
+
+
+class TestInitialConfigurations:
+    def test_initial_configuration_adds_leaders(self, leader_protocol):
+        configuration = leader_protocol.initial_configuration(from_counts(i=3))
+        assert configuration == from_counts(i=3, L=2)
+
+    def test_initial_configuration_leaderless(self, simple_protocol):
+        assert simple_protocol.initial_configuration(from_counts(i=2)) == from_counts(i=2)
+
+    def test_non_initial_states_rejected(self, simple_protocol):
+        with pytest.raises(ValueError):
+            simple_protocol.initial_configuration(from_counts(p=1))
+
+    def test_counting_input(self, simple_protocol):
+        assert simple_protocol.counting_input(4) == from_counts(i=4)
+
+    def test_counting_input_requires_singleton_initial_states(self):
+        net = PetriNet([pairwise(("a", "b"), ("a", "a"))])
+        protocol = Protocol.from_petri_net(
+            net, zero(), ["a", "b"], output={"a": 1, "b": 0}
+        )
+        with pytest.raises(ValueError):
+            protocol.counting_input(3)
+
+    def test_empty_input_is_just_leaders(self, leader_protocol):
+        assert leader_protocol.initial_configuration(zero()) == from_counts(L=2)
+
+
+class TestDescribe:
+    def test_describe_lists_states_and_outputs(self, leader_protocol):
+        text = leader_protocol.describe()
+        assert "with-leaders" in text
+        assert "gamma(L)" in text
+
+    def test_repr(self, simple_protocol):
+        assert "width=2" in repr(simple_protocol)

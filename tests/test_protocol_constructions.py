@@ -1,0 +1,200 @@
+"""Exhaustive verification tests for the protocol constructions (examples + baselines).
+
+These are the library's integration tests: every construction is checked
+against its predicate by exact stable-computation analysis on bounded
+populations, exactly as the paper defines stable computation.
+"""
+
+import pytest
+
+from repro.analysis import check_protocol, find_counterexample, verify_input
+from repro.core import Configuration, from_counts
+from repro.protocols import (
+    example_4_1_petri_net,
+    example_4_1_predicate,
+    example_4_1_preorder,
+    example_4_1_protocol,
+    example_4_2_petri_net,
+    example_4_2_predicate,
+    example_4_2_protocol,
+    flock_of_birds_predicate,
+    flock_of_birds_protocol,
+    majority_predicate,
+    majority_protocol,
+    modulo_predicate,
+    modulo_protocol,
+    succinct_initial_state,
+    succinct_leaderless_predicate,
+    succinct_leaderless_protocol,
+    succinct_leaderless_state_count,
+)
+from repro.protocols.majority import STATE_A, STATE_B
+from repro.protocols.modulo import modulo_initial_state
+
+
+class TestFlockOfBirds:
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 4])
+    def test_stably_computes_counting_predicate(self, threshold):
+        protocol = flock_of_birds_protocol(threshold)
+        report = check_protocol(
+            protocol, flock_of_birds_predicate(threshold), max_agents=threshold + 2
+        )
+        assert report.all_correct, report.failures()
+
+    def test_state_count_is_linear(self):
+        assert flock_of_birds_protocol(5).num_states == 6
+
+    def test_is_leaderless_width_two(self):
+        protocol = flock_of_birds_protocol(3)
+        assert protocol.is_leaderless()
+        assert protocol.width == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            flock_of_birds_protocol(0)
+
+
+class TestExample41:
+    @pytest.mark.parametrize("threshold", [1, 2, 3])
+    def test_stably_computes_counting_predicate(self, threshold):
+        protocol = example_4_1_protocol(threshold)
+        report = check_protocol(
+            protocol, example_4_1_predicate(threshold), max_agents=threshold + 2
+        )
+        assert report.all_correct, report.failures()
+
+    def test_has_exactly_two_states(self):
+        assert example_4_1_protocol(7).num_states == 2
+
+    def test_width_equals_threshold(self):
+        assert example_4_1_protocol(5).width == 5
+        assert example_4_1_petri_net(5).num_transitions == 5
+
+    def test_is_conservative(self):
+        assert example_4_1_petri_net(4).is_conservative()
+
+    def test_preorder_matches_petri_net_reachability(self):
+        threshold = 3
+        net = example_4_1_petri_net(threshold)
+        preorder = example_4_1_preorder(threshold)
+        configurations = [
+            from_counts(i=k, p=j) for k in range(threshold + 2) for j in range(threshold + 2)
+        ]
+        for alpha in configurations:
+            for beta in configurations:
+                if alpha.size != beta.size:
+                    continue
+                assert preorder.relates(alpha, beta) == net.is_reachable(alpha, beta)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            example_4_1_protocol(0)
+
+
+class TestExample42:
+    @pytest.mark.parametrize("threshold", [1, 2])
+    def test_stably_computes_counting_predicate(self, threshold):
+        protocol = example_4_2_protocol(threshold)
+        report = check_protocol(
+            protocol, example_4_2_predicate(threshold), max_agents=threshold + 2
+        )
+        assert report.all_correct, report.failures()
+
+    def test_has_six_states_and_width_two(self):
+        protocol = example_4_2_protocol(10)
+        assert protocol.num_states == 6
+        assert protocol.width == 2
+
+    def test_number_of_leaders_equals_threshold(self):
+        assert example_4_2_protocol(7).num_leaders == 7
+
+    def test_net_is_conservative(self):
+        assert example_4_2_petri_net().is_conservative()
+
+    def test_seven_transitions(self):
+        assert example_4_2_petri_net().num_transitions == 7
+
+    def test_larger_threshold_single_input(self):
+        # Spot-check a larger threshold on one input (full enumeration is too big).
+        protocol = example_4_2_protocol(3)
+        verdict = verify_input(protocol, from_counts(i=3), expected=1)
+        assert verdict.correct
+        verdict = verify_input(protocol, from_counts(i=2), expected=0)
+        assert verdict.correct
+
+
+class TestSuccinctLeaderless:
+    @pytest.mark.parametrize("threshold", list(range(1, 10)))
+    def test_stably_computes_counting_predicate(self, threshold):
+        protocol = succinct_leaderless_protocol(threshold)
+        max_agents = min(threshold + 2, 8)
+        report = check_protocol(
+            protocol, succinct_leaderless_predicate(threshold), max_agents=max_agents
+        )
+        assert report.all_correct, report.failures()
+
+    @pytest.mark.parametrize("threshold", [1, 2, 3, 4, 7, 8, 100, 2 ** 20])
+    def test_state_count_formula_matches_construction(self, threshold):
+        protocol = succinct_leaderless_protocol(threshold)
+        assert protocol.num_states == succinct_leaderless_state_count(threshold)
+
+    def test_state_count_is_logarithmic(self):
+        import math
+
+        for threshold in (2 ** 8, 2 ** 16, 2 ** 20):
+            count = succinct_leaderless_state_count(threshold)
+            assert count <= 2 * math.log2(threshold) + 3
+
+    def test_width_two_and_leaderless(self):
+        protocol = succinct_leaderless_protocol(13)
+        assert protocol.width == 2
+        assert protocol.is_leaderless()
+
+    def test_large_threshold_rejects_small_population(self):
+        # A population far below the threshold must stabilize to 0.
+        protocol = succinct_leaderless_protocol(64)
+        verdict = verify_input(protocol, Configuration({succinct_initial_state(): 3}), expected=0)
+        assert verdict.correct
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            succinct_leaderless_protocol(0)
+
+
+class TestModulo:
+    @pytest.mark.parametrize("modulus,remainder", [(2, 1), (3, 1), (3, 2), (4, 3)])
+    def test_stably_computes_modulo_predicate(self, modulus, remainder):
+        protocol = modulo_protocol(modulus, remainder)
+        predicate = modulo_predicate(modulus, remainder)
+        inputs = [
+            Configuration({modulo_initial_state(): k}) for k in range(1, modulus * 2 + 2)
+        ]
+        report = check_protocol(protocol, predicate, max_agents=0, inputs=inputs)
+        assert report.all_correct, report.failures()
+
+    def test_state_count(self):
+        assert modulo_protocol(5, 2).num_states == 10
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            modulo_protocol(1, 0)
+
+
+class TestMajority:
+    def test_stably_computes_majority(self):
+        protocol = majority_protocol()
+        report = check_protocol(protocol, majority_predicate(), max_agents=5)
+        assert report.all_correct, report.failures()
+
+    def test_tie_goes_to_rejection(self):
+        protocol = majority_protocol()
+        verdict = verify_input(protocol, from_counts(A=2, B=2), expected=0)
+        assert verdict.correct
+
+    def test_four_states_width_two(self):
+        protocol = majority_protocol()
+        assert protocol.num_states == 4
+        assert protocol.width == 2
+
+    def test_no_counterexample_on_bounded_inputs(self):
+        assert find_counterexample(majority_protocol(), majority_predicate(), max_agents=4) is None

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.semantics (output stability and stable computation)."""
+
+import pytest
+
+from repro.core import (
+    OUTPUT_ONE,
+    OUTPUT_ZERO,
+    PetriNet,
+    Protocol,
+    always_eventually_stable,
+    from_counts,
+    is_output_stable,
+    output_stable_nodes,
+    pairwise,
+    stable_consensus_value,
+    zero,
+)
+
+
+@pytest.fixture
+def threshold_two_protocol():
+    """The classical 'two agents meet and accept' protocol for x >= 2."""
+    net = PetriNet(
+        [
+            pairwise(("i", "i"), ("p", "p"), name="accept"),
+            pairwise(("p", "i"), ("p", "p"), name="convert"),
+        ]
+    )
+    return Protocol.from_petri_net(
+        net,
+        leaders=zero(),
+        initial_states=["i"],
+        output={"i": OUTPUT_ZERO, "p": OUTPUT_ONE},
+        name="threshold-2",
+    )
+
+
+class TestOutputStability:
+    def test_all_accepting_configuration_is_one_stable(self, threshold_two_protocol):
+        assert is_output_stable(threshold_two_protocol, from_counts(p=3), OUTPUT_ONE)
+
+    def test_single_rejecting_agent_is_zero_stable(self, threshold_two_protocol):
+        # A single i cannot interact: it stays a 0-consensus forever.
+        assert is_output_stable(threshold_two_protocol, from_counts(i=1), OUTPUT_ZERO)
+
+    def test_two_input_agents_are_not_zero_stable(self, threshold_two_protocol):
+        assert not is_output_stable(threshold_two_protocol, from_counts(i=2), OUTPUT_ZERO)
+
+    def test_mixed_configuration_not_one_stable_but_can_become(self, threshold_two_protocol):
+        configuration = from_counts(p=1, i=1)
+        assert not is_output_stable(threshold_two_protocol, configuration, OUTPUT_ZERO)
+        # It is 1-stable because every reachable configuration (itself and all-p)
+        # must eventually... actually itself has mixed outputs, so it is not 1-stable.
+        assert not is_output_stable(threshold_two_protocol, configuration, OUTPUT_ONE)
+
+    def test_zero_configuration_is_zero_stable(self, threshold_two_protocol):
+        assert is_output_stable(threshold_two_protocol, zero(), OUTPUT_ZERO)
+        assert not is_output_stable(threshold_two_protocol, zero(), OUTPUT_ONE)
+
+    def test_output_stable_nodes_on_graph(self, threshold_two_protocol):
+        net = threshold_two_protocol.petri_net
+        root = from_counts(i=3)
+        graph = net.reachability_graph([root])
+        stable_one = output_stable_nodes(graph, threshold_two_protocol, OUTPUT_ONE)
+        assert from_counts(p=3) in stable_one
+        assert root not in stable_one
+
+    def test_stability_requires_petri_net_protocol(self, threshold_two_protocol):
+        from repro.core import RelationPreorder
+
+        protocol = Protocol(
+            states=["i"],
+            preorder=RelationPreorder(lambda a, b: a == b),
+            leaders=zero(),
+            initial_states=["i"],
+            output={"i": OUTPUT_ZERO},
+        )
+        with pytest.raises(ValueError):
+            is_output_stable(protocol, from_counts(i=1), OUTPUT_ZERO)
+
+
+class TestStableComputation:
+    def test_two_agents_compute_one(self, threshold_two_protocol):
+        assert stable_consensus_value(threshold_two_protocol, from_counts(i=2)) == 1
+
+    def test_single_agent_computes_zero(self, threshold_two_protocol):
+        assert stable_consensus_value(threshold_two_protocol, from_counts(i=1)) == 0
+
+    def test_empty_input_computes_zero(self, threshold_two_protocol):
+        assert stable_consensus_value(threshold_two_protocol, zero()) == 0
+
+    def test_always_eventually_stable_from_every_reachable_configuration(
+        self, threshold_two_protocol
+    ):
+        net = threshold_two_protocol.petri_net
+        root = from_counts(i=4)
+        graph = net.reachability_graph([root])
+        assert always_eventually_stable(graph, threshold_two_protocol, root, OUTPUT_ONE)
+        assert not always_eventually_stable(graph, threshold_two_protocol, root, OUTPUT_ZERO)
+
+    def test_ill_specified_protocol_detected(self):
+        # A protocol that can commit to either output depending on scheduling:
+        # i + i -> p + p (accept) but also i + i -> r + r (reject sink).
+        net = PetriNet(
+            [
+                pairwise(("i", "i"), ("p", "p")),
+                pairwise(("i", "i"), ("r", "r")),
+            ]
+        )
+        protocol = Protocol.from_petri_net(
+            net,
+            leaders=zero(),
+            initial_states=["i"],
+            output={"i": OUTPUT_ZERO, "p": OUTPUT_ONE, "r": OUTPUT_ZERO},
+            name="ill-specified",
+        )
+        assert stable_consensus_value(protocol, from_counts(i=2)) is None

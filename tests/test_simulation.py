@@ -1,0 +1,168 @@
+"""Unit tests for repro.simulation (schedulers, simulator, statistics)."""
+
+import random
+
+import pytest
+
+from repro.core import Configuration, from_counts
+from repro.protocols import (
+    flock_of_birds_predicate,
+    flock_of_birds_protocol,
+    majority_predicate,
+    majority_protocol,
+    succinct_initial_state,
+    succinct_leaderless_predicate,
+    succinct_leaderless_protocol,
+)
+from repro.simulation import (
+    SimulationResult,
+    Simulator,
+    TransitionScheduler,
+    UniformScheduler,
+    accuracy_against_predicate,
+    simulate,
+    summarize_runs,
+)
+
+
+class TestSchedulers:
+    def test_uniform_scheduler_returns_enabled_transition(self):
+        protocol = flock_of_birds_protocol(2)
+        net = protocol.petri_net
+        scheduler = UniformScheduler()
+        rng = random.Random(0)
+        configuration = Configuration({1: 3})
+        transition = scheduler.choose(net, configuration, rng)
+        assert transition is not None
+        assert transition.is_enabled(configuration)
+
+    def test_uniform_scheduler_none_when_nothing_enabled(self):
+        protocol = flock_of_birds_protocol(3)
+        net = protocol.petri_net
+        scheduler = UniformScheduler()
+        assert scheduler.choose(net, Configuration({0: 2}), random.Random(0)) is None
+
+    def test_transition_scheduler_none_when_nothing_enabled(self):
+        protocol = flock_of_birds_protocol(3)
+        net = protocol.petri_net
+        scheduler = TransitionScheduler()
+        assert scheduler.choose(net, Configuration({0: 2}), random.Random(0)) is None
+
+    def test_uniform_weights_prefer_popular_interactions(self):
+        # With 10 agents in state 1 and 1 in state 2, the (1, 1) interaction has
+        # weight C(10, 2) = 45 versus 10 for (1, 2): it should be picked most
+        # of the time.
+        protocol = flock_of_birds_protocol(4)
+        net = protocol.petri_net
+        scheduler = UniformScheduler()
+        rng = random.Random(1)
+        configuration = Configuration({1: 10, 2: 1})
+        picks = [scheduler.choose(net, configuration, rng) for _ in range(200)]
+        ones = sum(1 for t in picks if t.pre == Configuration({1: 2}))
+        assert ones > 100
+
+
+class TestSimulator:
+    def test_flock_converges_to_one_above_threshold(self):
+        protocol = flock_of_birds_protocol(3)
+        result = simulate(protocol, protocol.counting_input(5), seed=42, max_steps=20000)
+        assert result.consensus == 1
+
+    def test_flock_converges_to_zero_below_threshold(self):
+        protocol = flock_of_birds_protocol(4)
+        result = simulate(protocol, protocol.counting_input(2), seed=7, max_steps=20000)
+        assert result.consensus == 0
+
+    def test_succinct_protocol_converges(self):
+        # The succinct protocol keeps a 0-consensus until acceptance, so the
+        # stability window must be large enough not to declare convergence
+        # before the accepting state has had a chance to appear.
+        protocol = succinct_leaderless_protocol(8)
+        inputs = Configuration({succinct_initial_state(): 12})
+        result = simulate(
+            protocol, inputs, seed=3, max_steps=100000, stability_window=5000
+        )
+        assert result.consensus == 1
+
+    def test_terminal_configuration_detected(self):
+        # A single agent below the threshold can never interact.
+        protocol = flock_of_birds_protocol(2)
+        result = simulate(protocol, protocol.counting_input(1), seed=0)
+        assert result.terminated
+        assert result.consensus == 0
+        assert result.steps == 0
+
+    def test_reproducibility_with_seed(self):
+        protocol = majority_protocol()
+        inputs = from_counts(A=5, B=3)
+        first = simulate(protocol, inputs, seed=123, max_steps=5000)
+        second = simulate(protocol, inputs, seed=123, max_steps=5000)
+        assert first.final == second.final
+        assert first.steps == second.steps
+
+    def test_run_many(self):
+        protocol = majority_protocol()
+        simulator = Simulator(protocol, seed=5)
+        results = simulator.run_many(from_counts(A=4, B=2), repetitions=5, max_steps=5000)
+        assert len(results) == 5
+        assert all(isinstance(result, SimulationResult) for result in results)
+
+    def test_run_from_arbitrary_configuration(self):
+        protocol = flock_of_birds_protocol(2)
+        simulator = Simulator(protocol, seed=1)
+        result = simulator.run_from(Configuration({2: 3}), max_steps=1000)
+        assert result.consensus == 1
+
+    def test_requires_petri_net_protocol(self):
+        from repro.core import OUTPUT_ZERO, Protocol, RelationPreorder, zero
+
+        protocol = Protocol(
+            states=["i"],
+            preorder=RelationPreorder(lambda a, b: a == b),
+            leaders=zero(),
+            initial_states=["i"],
+            output={"i": OUTPUT_ZERO},
+        )
+        with pytest.raises(ValueError):
+            Simulator(protocol)
+
+    def test_transition_scheduler_also_converges(self):
+        protocol = flock_of_birds_protocol(3)
+        result = simulate(
+            protocol,
+            protocol.counting_input(4),
+            seed=9,
+            scheduler=TransitionScheduler(),
+            max_steps=20000,
+        )
+        assert result.consensus == 1
+
+
+class TestStatistics:
+    def test_summary_of_converged_runs(self):
+        protocol = majority_protocol()
+        simulator = Simulator(protocol, seed=11)
+        results = simulator.run_many(from_counts(A=5, B=2), repetitions=8, max_steps=10000)
+        stats = summarize_runs(results)
+        assert stats.runs == 8
+        assert stats.converged == 8
+        assert stats.convergence_rate == 1.0
+        assert stats.mean_steps is not None and stats.mean_steps > 0
+        assert stats.min_steps <= stats.median_steps <= stats.max_steps
+
+    def test_summary_of_empty_batch(self):
+        stats = summarize_runs([])
+        assert stats.runs == 0
+        assert stats.convergence_rate == 0.0
+        assert stats.mean_steps is None
+
+    def test_accuracy_against_predicate(self):
+        protocol = majority_protocol()
+        simulator = Simulator(protocol, seed=2)
+        inputs = from_counts(A=6, B=2)
+        results = simulator.run_many(inputs, repetitions=5, max_steps=10000)
+        accuracy = accuracy_against_predicate(results, majority_predicate(), inputs)
+        assert accuracy == 1.0
+
+    def test_accuracy_of_empty_batch_is_zero(self):
+        assert accuracy_against_predicate([], majority_predicate(), from_counts(A=1)) == 0.0

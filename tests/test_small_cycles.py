@@ -1,0 +1,133 @@
+"""Unit tests for repro.controlstates.small_cycles (Lemmas 7.2 and 7.3)."""
+
+import pytest
+
+from repro.controlstates import (
+    Cycle,
+    Multicycle,
+    component_control_net,
+    lemma_7_3_length_bound,
+    lemma_7_3_threshold,
+    simple_cycle_through,
+    small_multicycle,
+    total_cycle,
+    total_cycle_length_bound,
+)
+from repro.core import PetriNet, Transition, from_counts, pairwise
+
+
+@pytest.fixture
+def ring():
+    transitions = [
+        Transition({"r0": 1}, {"r1": 1}, name="t01"),
+        Transition({"r1": 1}, {"r2": 1}, name="t12"),
+        Transition({"r2": 1}, {"r0": 1}, name="t20"),
+        Transition({"r0": 1}, {"r0": 1}, name="loop"),
+    ]
+    net = PetriNet(transitions)
+    configurations = [from_counts(r0=1), from_counts(r1=1), from_counts(r2=1)]
+    return component_control_net(net, configurations)
+
+
+@pytest.fixture
+def swap_component():
+    """The two-configuration component of the i/p swap net (non-zero displacements)."""
+    net = PetriNet(
+        [
+            pairwise(("i", "i"), ("p", "p"), name="fwd"),
+            pairwise(("p", "p"), ("i", "i"), name="bwd"),
+        ]
+    )
+    component = [from_counts(i=2), from_counts(p=2)]
+    return component_control_net(net, component)
+
+
+class TestLemma72:
+    def test_simple_cycle_through_every_edge(self, ring):
+        for edge in ring.edges:
+            cycle = simple_cycle_through(ring, edge)
+            assert cycle.parikh_image().get(edge, 0) >= 1
+            assert cycle.length <= ring.num_control_states
+
+    def test_total_cycle_is_total_and_small(self, ring):
+        cycle = total_cycle(ring)
+        assert cycle.is_total(ring)
+        assert cycle.length <= total_cycle_length_bound(ring)
+
+    def test_total_cycle_on_swap_component(self, swap_component):
+        cycle = total_cycle(swap_component)
+        assert cycle.is_total(swap_component)
+        assert cycle.length <= total_cycle_length_bound(swap_component)
+
+    def test_total_cycle_requires_strong_connectivity(self):
+        net = PetriNet([Transition({"a": 1}, {"b": 1}, name="t")])
+        control = component_control_net(net, [from_counts(a=1), from_counts(b=1)])
+        with pytest.raises(ValueError):
+            total_cycle(control)
+
+    def test_total_cycle_requires_an_edge(self):
+        net = PetriNet([Transition({"a": 1}, {"b": 1}, name="t")])
+        control = component_control_net(net, [from_counts(a=1)])
+        with pytest.raises(ValueError):
+            total_cycle(control)
+
+    def test_bound_formula(self, ring):
+        assert total_cycle_length_bound(ring) == ring.num_edges * ring.num_control_states
+
+
+class TestLemma73:
+    def test_small_multicycle_zero_displacement(self, ring):
+        big = Multicycle([total_cycle(ring).power(5)])
+        result = small_multicycle(ring, big, zero_places=[], threshold=1)
+        assert result.multicycle.length <= big.length
+        # The original displacement is zero on every place, so the small one must be too.
+        assert result.multicycle.displacement().is_zero()
+        # Every edge is used at least `threshold` times by the big multicycle,
+        # so the small one must use every edge.
+        assert result.multicycle.is_total(ring)
+
+    def test_small_multicycle_respects_zero_places(self, swap_component):
+        cycle = total_cycle(swap_component)
+        big = Multicycle([cycle.power(4)])
+        result = small_multicycle(swap_component, big, zero_places=["i"], threshold=1)
+        assert result.multicycle.displacement()["i"] == 0
+
+    def test_small_multicycle_sign_preservation(self, ring):
+        edges = {edge.transition.name: edge for edge in ring.edges}
+        # A multicycle made only of loops has zero displacement everywhere.
+        loops = Multicycle([Cycle([edges["loop"]]) for _ in range(6)])
+        result = small_multicycle(ring, loops, zero_places=["r1"], threshold=3)
+        displacement = result.multicycle.displacement()
+        assert displacement["r0"] == 0
+        assert displacement["r1"] == 0
+
+    def test_small_multicycle_uses_heavy_edges(self, ring):
+        edges = {edge.transition.name: edge for edge in ring.edges}
+        ring_cycle = Cycle([edges["t01"], edges["t12"], edges["t20"]])
+        heavy = Multicycle([ring_cycle] * 5 + [Cycle([edges["loop"]])])
+        result = small_multicycle(ring, heavy, zero_places=[], threshold=5)
+        parikh = result.multicycle.parikh_image()
+        for name in ("t01", "t12", "t20"):
+            assert parikh.get(edges[name], 0) > 0
+
+    def test_empty_multicycle_rejected(self, ring):
+        with pytest.raises(ValueError):
+            small_multicycle(ring, Multicycle([]), zero_places=[], threshold=1)
+
+    def test_threshold_must_be_positive(self, ring):
+        big = Multicycle([total_cycle(ring)])
+        with pytest.raises(ValueError):
+            small_multicycle(ring, big, zero_places=[], threshold=0)
+
+    def test_default_threshold_and_length_bound_are_positive(self, ring):
+        big = Multicycle([total_cycle(ring)])
+        threshold = lemma_7_3_threshold(ring, big, [], ring.net.num_states)
+        assert threshold >= 1
+        assert lemma_7_3_length_bound(ring, ring.net.num_states) >= 1
+
+    def test_cycles_of_result_come_from_the_original(self, ring):
+        big = Multicycle([total_cycle(ring).power(3)])
+        result = small_multicycle(ring, big, zero_places=[], threshold=1)
+        original_edges = set(big.parikh_image())
+        for cycle in result.multicycle.cycles:
+            assert set(cycle.parikh_image()) <= original_edges

@@ -1,0 +1,137 @@
+"""Unit tests for repro.analysis.stability (Section 5)."""
+
+import pytest
+
+from repro.analysis import (
+    is_stabilized,
+    lift_restricted_word,
+    rackoff_stabilization_threshold,
+    stabilization_certificate,
+    violating_state,
+)
+from repro.core import PetriNet, Transition, from_counts, pairwise
+from repro.protocols.example_4_2 import (
+    STATE_I,
+    STATE_I_BAR,
+    STATE_P_BAR,
+    STATE_Q_BAR,
+    example_4_2_petri_net,
+)
+
+ALLOWED = frozenset({STATE_I_BAR, STATE_P_BAR, STATE_Q_BAR})
+
+
+@pytest.fixture
+def net():
+    return example_4_2_petri_net()
+
+
+class TestIsStabilized:
+    def test_all_barred_configuration_is_stabilized(self, net):
+        assert is_stabilized(net, from_counts(i_bar=2), ALLOWED)
+        assert is_stabilized(net, from_counts(i_bar=1, p_bar=2, q_bar=1), ALLOWED)
+
+    def test_configuration_with_forbidden_state_is_not_stabilized(self, net):
+        assert not is_stabilized(net, from_counts(i_bar=1, p=1), ALLOWED)
+
+    def test_configuration_that_can_reach_forbidden_state_is_not_stabilized(self, net):
+        # i + i_bar can fire t and produce p + q.
+        assert not is_stabilized(net, from_counts(i=1, i_bar=1), ALLOWED)
+
+    def test_zero_configuration_is_stabilized(self, net):
+        assert is_stabilized(net, from_counts(), ALLOWED)
+
+    def test_lemma_5_1_equivalence_with_output_stability(self, net):
+        # Lemma 5.1: (T, gamma^{-1}(0))-stabilized == 0-output stable.
+        from repro.core import OUTPUT_ZERO, is_output_stable
+        from repro.protocols.example_4_2 import example_4_2_protocol
+
+        protocol = example_4_2_protocol(2)
+        for configuration in (
+            from_counts(i_bar=2),
+            from_counts(i_bar=1, p_bar=1),
+            from_counts(i=1, i_bar=1),
+            from_counts(p=1, q=1),
+        ):
+            assert is_stabilized(net, configuration, ALLOWED) == is_output_stable(
+                protocol, configuration, OUTPUT_ZERO
+            )
+
+
+class TestViolatingState:
+    def test_no_violation_for_stabilized_configuration(self, net):
+        assert violating_state(net, from_counts(i_bar=2), ALLOWED) is None
+
+    def test_violation_reports_state_and_witness(self, net):
+        result = violating_state(net, from_counts(i=1, i_bar=1), ALLOWED)
+        assert result is not None
+        state, witness = result
+        assert state not in ALLOWED
+        final = net.fire_word(from_counts(i=1, i_bar=1), witness)
+        assert final[state] >= 1
+
+
+class TestCertificates:
+    def test_certificate_from_stabilized_configuration(self, net):
+        certificate = stabilization_certificate(net, from_counts(i_bar=3), ALLOWED)
+        # Everything below the base configuration on the small states is certified.
+        assert certificate.implies_stabilized(from_counts(i_bar=2))
+        assert certificate.implies_stabilized(from_counts())
+
+    def test_certificate_is_sound(self, net):
+        certificate = stabilization_certificate(net, from_counts(i_bar=2, p_bar=1), ALLOWED)
+        candidates = [
+            from_counts(i_bar=1),
+            from_counts(p_bar=1),
+            from_counts(i_bar=2, p_bar=1),
+            from_counts(i_bar=1, q_bar=0),
+        ]
+        for candidate in candidates:
+            if certificate.implies_stabilized(candidate):
+                assert is_stabilized(net, candidate, ALLOWED)
+
+    def test_certificate_rejects_non_stabilized_base(self, net):
+        with pytest.raises(ValueError):
+            stabilization_certificate(net, from_counts(i=1, i_bar=1), ALLOWED)
+
+    def test_threshold_below_rackoff_rejected(self, net):
+        with pytest.raises(ValueError):
+            stabilization_certificate(net, from_counts(i_bar=1), ALLOWED, threshold=1)
+
+    def test_default_threshold_is_rackoff(self, net):
+        certificate = stabilization_certificate(net, from_counts(i_bar=1), ALLOWED)
+        assert certificate.threshold == rackoff_stabilization_threshold(net)
+
+    def test_small_states_cover_everything_for_small_configurations(self, net):
+        certificate = stabilization_certificate(net, from_counts(i_bar=1), ALLOWED)
+        # The base configuration is far below the Rackoff threshold everywhere.
+        assert certificate.small_states == frozenset(net.states)
+
+
+class TestLemma52Lifting:
+    def test_lifting_a_restricted_run(self):
+        # Full net: a + x -> b + x.  Restricted to {a, b} the x is not needed.
+        transition = Transition({"a": 1, "x": 1}, {"b": 1, "x": 1}, name="t")
+        net = PetriNet([transition])
+        word = [transition]
+        # The hypothesis requires x >= |word| * ||T||_inf agents outside {a, b}.
+        configuration = from_counts(a=1, x=1)
+        lifted = lift_restricted_word(net, configuration, word, restricted_states=["a", "b"])
+        assert lifted == from_counts(b=1, x=1)
+
+    def test_hypothesis_violation_raises(self):
+        transition = Transition({"a": 1, "x": 1}, {"b": 1, "x": 1}, name="t")
+        net = PetriNet([transition])
+        with pytest.raises(ValueError):
+            lift_restricted_word(net, from_counts(a=1), [transition], restricted_states=["a", "b"])
+
+    def test_quantitative_conclusion(self):
+        # Lemma 5.2 also bounds the loss outside Q: beta(p) >= alpha(p) - |word| * ||T||_inf.
+        transition = Transition({"a": 1, "x": 1}, {"b": 1}, name="consume_x")
+        net = PetriNet([transition])
+        configuration = from_counts(a=2, x=5)
+        lifted = lift_restricted_word(
+            net, configuration, [transition, transition], restricted_states=["a", "b"]
+        )
+        assert lifted["x"] >= configuration["x"] - 2 * net.max_value
+        assert lifted.restrict(["a", "b"]) == from_counts(b=2)

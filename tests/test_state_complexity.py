@@ -1,0 +1,224 @@
+"""Unit tests for repro.analysis.state_complexity and ackermann (Theorem 4.3, Corollary 4.4)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ackermann,
+    ackermann_level,
+    bej_leaderless_upper_bound,
+    bej_upper_bound_with_leaders,
+    corollary_4_4_lower_bound,
+    czerner_esparza_lower_bound,
+    inverse_ackermann,
+    max_threshold_for_states,
+    max_threshold_for_states_log2_log2,
+    min_states_for_threshold,
+    section_8_constants,
+    section_8_constants_log2,
+    theorem_4_3_admits_threshold,
+    theorem_4_3_bound,
+    theorem_4_3_bound_for_protocol,
+    theorem_4_3_holds_for_protocol,
+    theorem_4_3_log2_log2_bound,
+)
+from repro.protocols import example_4_2_protocol, flock_of_birds_protocol
+
+
+class TestTheorem43:
+    def test_bound_formula(self):
+        # |P| = 1, width = 1, leaders = 0: (4 + 4)^(1^9) = 8.
+        assert theorem_4_3_bound(1, 1, 0) == 8
+        # |P| = 2, width = 2, leaders = 0: (4 + 8)^(2^16).
+        assert theorem_4_3_bound(2, 2, 0) == 12 ** (2 ** 16)
+
+    def test_log_bound_matches_exact_for_small_states(self):
+        exact = theorem_4_3_bound(2, 2, 1)
+        approx = theorem_4_3_log2_log2_bound(2, 2, 1)
+        assert math.isclose(math.log2(math.log2(exact)), approx, rel_tol=1e-9)
+
+    def test_log_bound_monotone_in_every_parameter(self):
+        base = theorem_4_3_log2_log2_bound(3, 2, 1)
+        assert theorem_4_3_log2_log2_bound(4, 2, 1) > base
+        assert theorem_4_3_log2_log2_bound(3, 3, 1) > base
+        assert theorem_4_3_log2_log2_bound(3, 2, 2) > base
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            theorem_4_3_bound(0, 1, 1)
+        with pytest.raises(ValueError):
+            theorem_4_3_bound(1, -1, 0)
+        with pytest.raises(ValueError):
+            theorem_4_3_admits_threshold(0, 1, 1, 0)
+
+    def test_bound_for_protocol_object(self):
+        # Example 4.1 has only two states, so the exact bound is computable.
+        from repro.protocols import example_4_1_protocol
+
+        protocol = example_4_1_protocol(3)
+        bound = theorem_4_3_bound_for_protocol(protocol)
+        assert bound == theorem_4_3_bound(2, 3, 0)
+
+    def test_theorem_holds_on_the_verified_constructions(self):
+        # Every construction that stably computes (x >= n) must satisfy the
+        # Theorem 4.3 inequality.  This is the paper's main claim checked on
+        # real protocols (on the log-log scale, since the bound is huge).
+        for n in (1, 2, 3, 4, 5, 100, 10 ** 6):
+            flock = flock_of_birds_protocol(min(n, 6))
+            assert theorem_4_3_holds_for_protocol(flock, min(n, 6))
+            example = example_4_2_protocol(n)
+            assert theorem_4_3_holds_for_protocol(example, n)
+
+    def test_admits_threshold_rejects_huge_thresholds_for_tiny_protocols(self):
+        # A 1-state width-1 leaderless protocol can only decide n <= 8.
+        assert theorem_4_3_admits_threshold(8, 1, 1, 0)
+        assert not theorem_4_3_admits_threshold(10 ** 9, 1, 1, 0)
+
+    def test_max_threshold_and_min_states_are_inverse(self):
+        for threshold in (2, 100, 10 ** 6, 2 ** 70):
+            states = min_states_for_threshold(threshold, 2)
+            log_target = math.log2(threshold.bit_length() - 1) if threshold > 2 else 0.0
+            assert max_threshold_for_states_log2_log2(states, 2) >= log_target
+            if states > 1:
+                assert max_threshold_for_states_log2_log2(states - 1, 2) < log_target
+
+    def test_max_threshold_exact_matches_log_for_small_states(self):
+        exact = max_threshold_for_states(2, 2)
+        approx = max_threshold_for_states_log2_log2(2, 2)
+        assert math.isclose(math.log2(math.log2(exact)), approx, rel_tol=1e-9)
+
+    def test_invalid_bound_parameter(self):
+        with pytest.raises(ValueError):
+            max_threshold_for_states(1, 0)
+        with pytest.raises(ValueError):
+            min_states_for_threshold(0, 1)
+
+
+class TestCorollary44:
+    def test_lower_bound_grows_with_n(self):
+        small = corollary_4_4_lower_bound(2 ** (2 ** 4), 2, 0.49)
+        large = corollary_4_4_lower_bound(2 ** (2 ** 8), 2, 0.49)
+        assert large > small
+
+    def test_h_must_be_below_one_half(self):
+        with pytest.raises(ValueError):
+            corollary_4_4_lower_bound(100, 2, 0.5)
+        with pytest.raises(ValueError):
+            corollary_4_4_lower_bound(100, 2, 0.0)
+
+    def test_small_n_gives_zero(self):
+        assert corollary_4_4_lower_bound(2, 2, 0.4) == 0.0
+
+    def test_lower_bound_below_upper_bound(self):
+        # Consistency: the lower bound can never exceed the BEJ upper bound
+        # (up to the additive constant) on the family where both apply.
+        for j in (3, 5, 8, 12):
+            n = 2 ** (2 ** j)
+            lower = corollary_4_4_lower_bound(n, 2, 0.49)
+            upper = bej_upper_bound_with_leaders(n, constant=4.0)
+            assert lower <= upper
+
+    def test_lower_bound_consistent_with_theorem(self):
+        # Corollary 4.4 is derived from Theorem 4.3: a protocol with fewer
+        # states than the lower bound would contradict the theorem.
+        n = 2 ** (2 ** 6)
+        lower = corollary_4_4_lower_bound(n, 2, 0.3)
+        states = min_states_for_threshold(n, 2)
+        assert states >= lower
+
+    def test_theorem_rejects_protocols_below_the_lower_bound(self):
+        # For a huge threshold, a protocol with fewer states than Corollary 4.4
+        # prescribes cannot satisfy the Theorem 4.3 inequality.
+        n = 2 ** (2 ** 10)
+        lower = corollary_4_4_lower_bound(n, 2, 0.49)
+        too_few = max(int(lower) - 2, 1)
+        assert not theorem_4_3_admits_threshold(n, too_few, 2, 2)
+
+
+class TestUpperBounds:
+    def test_bej_with_leaders_is_loglog(self):
+        assert bej_upper_bound_with_leaders(2 ** (2 ** 5)) == pytest.approx(5.0)
+
+    def test_bej_leaderless_is_log(self):
+        assert bej_leaderless_upper_bound(2 ** 10) == pytest.approx(10.0)
+
+    def test_small_n_edge_cases(self):
+        assert bej_upper_bound_with_leaders(2) == 1.0
+        assert bej_leaderless_upper_bound(1) == 1.0
+
+
+class TestSection8Constants:
+    def test_constants_for_d2(self):
+        constants = section_8_constants(2, 1, 1)
+        assert constants.b == (4 + 4 + 2) ** (1 * (1 + 3 ** 2))
+        assert constants.h == 2 * 2 * constants.b
+        assert constants.threshold_bound == constants.h ** (5 * 4 + 4 + 4)
+
+    def test_d1_rejected(self):
+        with pytest.raises(ValueError):
+            section_8_constants(1, 1, 0)
+
+    def test_threshold_bound_below_coarse_bound(self):
+        # The paper coarsens h^{5d^2+2d+4} into (4+4||T||+2||rho_L||)^{d(d+2)^2}.
+        constants = section_8_constants(2, 1, 1)
+        assert constants.threshold_bound <= constants.coarse_bound
+
+    def test_log_variant_matches_exact_for_small_d(self):
+        constants = section_8_constants(2, 1, 1)
+        logs = section_8_constants_log2(2, 1, 1)
+        assert math.isclose(logs["b"], math.log2(constants.b), rel_tol=1e-9)
+        assert math.isclose(logs["h"], math.log2(constants.h), rel_tol=1e-9)
+        assert math.isclose(
+            logs["threshold_bound"], math.log2(constants.threshold_bound), rel_tol=1e-9
+        )
+
+    def test_log_variant_handles_large_d(self):
+        logs = section_8_constants_log2(8, 2, 2)
+        assert logs["b"] > 0
+        assert logs["threshold_bound"] > logs["b"]
+
+
+class TestAckermann:
+    def test_hierarchy_base_level(self):
+        assert ackermann_level(1, 5) == 10
+
+    def test_hierarchy_level_two_is_exponential(self):
+        # A_2(x) = A_1^x(1) = 2^x.
+        assert ackermann_level(2, 5) == 32
+
+    def test_hierarchy_level_three_is_a_tower(self):
+        # A_3(3) = A_2(A_2(A_2(1))) = 2^(2^2) = 16.
+        assert ackermann_level(3, 3) == 16
+
+    def test_diagonal_values(self):
+        assert ackermann(0) == 1
+        assert ackermann(1) == 2
+        assert ackermann(2) == 4
+        assert ackermann(3) == 16
+
+    def test_ceiling_caps_computation(self):
+        assert ackermann_level(3, 10, ceiling=1000) == 1000
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ackermann_level(0, 1)
+        with pytest.raises(ValueError):
+            ackermann(-1)
+
+    def test_inverse_ackermann(self):
+        assert inverse_ackermann(0) == 0
+        assert inverse_ackermann(1) == 0  # A(1) = 2 > 1
+        assert inverse_ackermann(2) == 1
+        assert inverse_ackermann(15) == 2
+        assert inverse_ackermann(16) == 3
+        assert inverse_ackermann(10 ** 9) == 3
+
+    def test_inverse_is_left_inverse(self):
+        for x in range(4):
+            assert inverse_ackermann(ackermann(x)) >= x
+
+    def test_czerner_esparza_bound_is_tiny(self):
+        # The point of experiment E3: the PODC'21 bound is <= 3 for every
+        # physically meaningful n, unlike the paper's (log log n)^h bound.
+        assert czerner_esparza_lower_bound(10 ** 18) <= 3

@@ -1,0 +1,130 @@
+"""Unit tests for repro.core.transition."""
+
+import pytest
+
+from repro.core import (
+    Configuration,
+    Transition,
+    displacement_of_word,
+    from_counts,
+    pairwise,
+    word_width,
+)
+
+
+class TestConstruction:
+    def test_pairwise_builds_width_two_transition(self):
+        transition = pairwise(("a", "b"), ("c", "d"))
+        assert transition.pre == from_counts(a=1, b=1)
+        assert transition.post == from_counts(c=1, d=1)
+        assert transition.width == 2
+
+    def test_accepts_plain_mappings(self):
+        transition = Transition({"a": 2}, {"b": 1})
+        assert transition.pre == from_counts(a=2)
+        assert transition.post == from_counts(b=1)
+
+    def test_name_is_optional(self):
+        assert Transition({"a": 1}, {"b": 1}).name is None
+        assert Transition({"a": 1}, {"b": 1}, name="t").name == "t"
+
+
+class TestMeasures:
+    def test_width_is_max_of_sizes(self):
+        transition = Transition({"a": 3}, {"b": 1})
+        assert transition.width == 3
+
+    def test_max_value_is_infinity_norm(self):
+        transition = Transition({"a": 3}, {"b": 5})
+        assert transition.max_value == 5
+
+    def test_conservative_transition(self):
+        assert pairwise(("a", "b"), ("c", "d")).is_conservative()
+        assert not Transition({"a": 1}, {"b": 2}).is_conservative()
+
+    def test_states_union_of_pre_and_post(self):
+        transition = Transition({"a": 1}, {"b": 1})
+        assert transition.states == frozenset({"a", "b"})
+
+    def test_displacement(self):
+        transition = Transition({"a": 2, "b": 1}, {"b": 3, "c": 1})
+        assert transition.displacement() == {"a": -2, "b": 2, "c": 1}
+
+    def test_displacement_omits_zero_entries(self):
+        transition = pairwise(("a", "b"), ("a", "c"))
+        assert "a" not in transition.displacement()
+
+
+class TestFiring:
+    def test_enabled_when_pre_is_covered(self):
+        transition = pairwise(("i", "i"), ("p", "p"))
+        assert transition.is_enabled(from_counts(i=2))
+        assert transition.is_enabled(from_counts(i=3, p=1))
+        assert not transition.is_enabled(from_counts(i=1))
+
+    def test_fire_replaces_pre_by_post(self):
+        transition = pairwise(("i", "i"), ("p", "p"))
+        assert transition.fire(from_counts(i=3)) == from_counts(i=1, p=2)
+
+    def test_fire_preserves_context(self):
+        transition = pairwise(("i", "i"), ("p", "p"))
+        result = transition.fire(from_counts(i=2, q=5))
+        assert result == from_counts(p=2, q=5)
+
+    def test_fire_disabled_raises(self):
+        transition = pairwise(("i", "i"), ("p", "p"))
+        with pytest.raises(ValueError):
+            transition.fire(from_counts(i=1))
+
+    def test_fire_if_enabled_returns_none_when_disabled(self):
+        transition = pairwise(("i", "i"), ("p", "p"))
+        assert transition.fire_if_enabled(from_counts(i=1)) is None
+
+    def test_non_conservative_firing(self):
+        spawn = Transition({"a": 1}, {"a": 1, "b": 2})
+        assert spawn.fire(from_counts(a=1)) == from_counts(a=1, b=2)
+
+    def test_reverse_transition_undoes_firing(self):
+        transition = pairwise(("i", "i"), ("p", "q"))
+        start = from_counts(i=2, x=1)
+        assert transition.reverse().fire(transition.fire(start)) == start
+
+
+class TestRestriction:
+    def test_restriction_projects_pre_and_post(self):
+        transition = Transition({"a": 1, "b": 1}, {"c": 2})
+        restricted = transition.restrict(["a", "c"])
+        assert restricted.pre == from_counts(a=1)
+        assert restricted.post == from_counts(c=2)
+
+    def test_restriction_commutes_with_firing_on_restricted_states(self):
+        transition = pairwise(("a", "b"), ("c", "d"))
+        configuration = from_counts(a=1, b=1, x=2)
+        full = transition.fire(configuration)
+        restricted = transition.restrict(["a", "c"]).fire(configuration.restrict(["a", "c"]))
+        assert full.restrict(["a", "c"]) == restricted
+
+
+class TestWords:
+    def test_displacement_of_word_sums_displacements(self):
+        t1 = Transition({"a": 1}, {"b": 1})
+        t2 = Transition({"b": 1}, {"c": 1})
+        assert displacement_of_word([t1, t2]) == {"a": -1, "c": 1}
+
+    def test_displacement_of_empty_word_is_zero(self):
+        assert displacement_of_word([]) == {}
+
+    def test_word_width(self):
+        t1 = Transition({"a": 1}, {"b": 1})
+        t2 = Transition({"a": 3}, {"b": 3})
+        assert word_width([t1, t2]) == 3
+        assert word_width([]) == 0
+
+
+class TestEquality:
+    def test_equality_ignores_name(self):
+        assert Transition({"a": 1}, {"b": 1}, name="x") == Transition({"a": 1}, {"b": 1}, name="y")
+
+    def test_hashable(self):
+        transitions = {Transition({"a": 1}, {"b": 1}), Transition({"a": 1}, {"b": 1})}
+        assert len(transitions) == 1

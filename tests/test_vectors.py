@@ -1,0 +1,93 @@
+"""Unit tests for repro.algebra.vectors."""
+
+import pytest
+
+from repro.algebra import IntVector
+from repro.core import from_counts
+
+
+class TestConstruction:
+    def test_zero_entries_dropped(self):
+        vector = IntVector({"a": 0, "b": -2})
+        assert "a" not in vector.support
+        assert vector["b"] == -2
+
+    def test_zero_vector(self):
+        assert IntVector.zero().is_zero()
+        assert not IntVector.zero()
+
+    def test_unit_vector(self):
+        assert IntVector.unit("x")["x"] == 1
+        assert IntVector.unit("x", -3)["x"] == -3
+
+    def test_from_and_to_configuration(self):
+        configuration = from_counts(i=2, p=1)
+        vector = IntVector.from_configuration(configuration)
+        assert vector.to_configuration() == configuration
+
+    def test_to_configuration_rejects_negative(self):
+        with pytest.raises(ValueError):
+            IntVector({"a": -1}).to_configuration()
+
+
+class TestNorms:
+    def test_norm1(self):
+        assert IntVector({"a": -2, "b": 3}).norm1 == 5
+        assert IntVector.zero().norm1 == 0
+
+    def test_norm_inf(self):
+        assert IntVector({"a": -7, "b": 3}).norm_inf == 7
+        assert IntVector.zero().norm_inf == 0
+
+
+class TestAlgebra:
+    def test_addition_and_subtraction(self):
+        a = IntVector({"x": 1, "y": -2})
+        b = IntVector({"y": 2, "z": 1})
+        assert a + b == IntVector({"x": 1, "z": 1})
+        assert a - b == IntVector({"x": 1, "y": -4, "z": -1})
+
+    def test_negation(self):
+        assert -IntVector({"x": 2, "y": -1}) == IntVector({"x": -2, "y": 1})
+
+    def test_scalar_multiplication(self):
+        assert 3 * IntVector({"x": -2}) == IntVector({"x": -6})
+        assert IntVector({"x": 5}) * 0 == IntVector.zero()
+
+    def test_dot_product(self):
+        a = IntVector({"x": 2, "y": -1})
+        b = IntVector({"x": 3, "y": 4, "z": 7})
+        assert a.dot(b) == 2
+
+    def test_dot_product_symmetry(self):
+        a = IntVector({"x": 2, "y": -1})
+        b = IntVector({"x": 3, "z": 7})
+        assert a.dot(b) == b.dot(a)
+
+    def test_sign(self):
+        assert IntVector({"x": 5, "y": -3}).sign() == IntVector({"x": 1, "y": -1})
+
+
+class TestOrderAndRestriction:
+    def test_componentwise_order(self):
+        assert IntVector({"x": -1}) <= IntVector({"x": 0})
+        assert IntVector({"x": 1}) >= IntVector.zero()
+        assert not IntVector({"x": 1, "y": -1}) <= IntVector({"x": 2, "y": -2})
+
+    def test_nonnegative_and_nonpositive(self):
+        assert IntVector({"x": 1}).is_nonnegative()
+        assert IntVector({"x": -1}).is_nonpositive()
+        assert IntVector.zero().is_nonnegative() and IntVector.zero().is_nonpositive()
+        assert not IntVector({"x": 1, "y": -1}).is_nonnegative()
+
+    def test_restrict(self):
+        vector = IntVector({"x": 1, "y": 2, "z": 3})
+        assert vector.restrict(["x", "z"]) == IntVector({"x": 1, "z": 3})
+
+
+class TestHashing:
+    def test_equal_vectors_hash_equal(self):
+        assert hash(IntVector({"x": 1})) == hash(IntVector({"x": 1, "y": 0}))
+
+    def test_usable_in_sets(self):
+        assert len({IntVector({"x": 1}), IntVector({"x": 1})}) == 1
