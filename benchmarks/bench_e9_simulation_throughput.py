@@ -1,0 +1,22 @@
+"""Benchmark E9 — simulation throughput of the compiled engine.
+
+Measures interactions per second of the compiled dense-array engine against
+the sparse reference engine on the majority protocol, and asserts the
+headline claim: at population 1000 the compiled engine sustains at least 10x
+the reference engine's throughput while producing the exact same trajectory
+(the experiment itself raises if the engines diverge).
+"""
+
+from conftest import report
+
+from repro.experiments import experiment_e9_simulation_throughput
+
+
+def test_bench_e9_simulation_throughput(benchmark):
+    table = benchmark.pedantic(experiment_e9_simulation_throughput, rounds=1, iterations=1)
+    speedup_at = {
+        row["population"]: row["speedup"] for row in table.rows if row["engine"] == "compiled"
+    }
+    assert all(speedup > 1.0 for speedup in speedup_at.values())
+    assert speedup_at[1000] >= 10.0
+    report(table)

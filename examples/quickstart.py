@@ -38,8 +38,10 @@ def main() -> None:
         )
     print()
 
-    # 3. Simulation on a larger population (20 agents) with a fixed seed.
-    simulator = Simulator(protocol, seed=2022)
+    # 3. Simulation on a larger population (20 agents) with a fixed seed, on
+    #    the compiled dense-array engine (the sparse reference engine is
+    #    available via engine="reference" and yields the same trajectories).
+    simulator = Simulator(protocol, seed=2022, engine="compiled")
     inputs = protocol.counting_input(20)
     results = simulator.run_many(inputs, repetitions=10, max_steps=50000)
     stats = summarize_runs(results)

@@ -61,7 +61,9 @@ def simulate_around_the_threshold() -> None:
     threshold = 8
     protocol = succinct_leaderless_protocol(threshold)
     predicate = succinct_leaderless_predicate(threshold)
-    simulator = Simulator(protocol, seed=7)
+    # The compiled engine makes the long stability windows below cheap; the
+    # batched run_many reuses one dense counts buffer across repetitions.
+    simulator = Simulator(protocol, seed=7, engine="compiled")
     for population in (threshold - 2, threshold, threshold + 6):
         inputs = Configuration({succinct_initial_state(): population})
         results = simulator.run_many(

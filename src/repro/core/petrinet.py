@@ -21,10 +21,25 @@ and exploration primitives used by the analysis layer:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .configuration import Configuration, State
 from .transition import Transition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..simulation.compiled import CompiledNet
 
 __all__ = ["PetriNet", "ReachabilityGraph", "ExplorationLimitError"]
 
@@ -106,11 +121,13 @@ class PetriNet:
                 seen.add(transition)
                 unique.append(transition)
         self._transitions: Tuple[Transition, ...] = tuple(unique)
+        self._transition_set: FrozenSet[Transition] = frozenset(unique)
         universe: Set[State] = set(states)
         for transition in self._transitions:
             universe |= transition.states
         self._states: FrozenSet[State] = frozenset(universe)
         self.name = name
+        self._compiled_cache: Dict[FrozenSet[State], "CompiledNet"] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors and measures
@@ -160,11 +177,32 @@ class PetriNet:
         return iter(self._transitions)
 
     def __contains__(self, transition: Transition) -> bool:
-        return transition in set(self._transitions)
+        return transition in self._transition_set
 
     def __repr__(self) -> str:
         label = self.name or "PetriNet"
         return f"{label}(|P|={self.num_states}, |T|={self.num_transitions}, width={self.width})"
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compiled(self, extra_states: Iterable[State] = ()) -> "CompiledNet":
+        """The dense array-backed representation of this net (see
+        :mod:`repro.simulation.compiled`).
+
+        ``extra_states`` enlarges the state universe beyond :attr:`states`
+        (protocols may carry isolated states the net never touches).  The
+        result is cached per distinct universe, so repeated simulations of the
+        same net share one compiled representation.
+        """
+        key = frozenset(extra_states) - self._states
+        cached = self._compiled_cache.get(key)
+        if cached is None:
+            from ..simulation.compiled import CompiledNet
+
+            cached = CompiledNet(self, extra_states=key)
+            self._compiled_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Structural operations

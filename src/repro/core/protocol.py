@@ -22,6 +22,7 @@ with the output alphabet.  The concrete preorder is usually a
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Union
 
 from .configuration import Configuration, State
@@ -157,6 +158,16 @@ class Protocol:
     # ------------------------------------------------------------------
     # Output function extended to configurations (paper, Section 2)
     # ------------------------------------------------------------------
+    @property
+    def output_table(self) -> Mapping[State, Output]:
+        """A read-only view of the output function ``gamma``.
+
+        Consumers that precompile the protocol (the simulation engine) read
+        the whole table once through this accessor instead of poking at the
+        internal dictionary.
+        """
+        return MappingProxyType(self.output)
+
     def configuration_output(self, configuration: Configuration) -> Set[Output]:
         """``gamma(rho)``: the set of outputs of states populated in ``rho``."""
         return {self.output[state] for state in configuration.support if state in self.output}

@@ -1,4 +1,4 @@
-"""Experiment harness and the E1..E8 experiment definitions (see DESIGN.md)."""
+"""Experiment harness and the E1..E9 experiment definitions (see DESIGN.md)."""
 
 from . import experiment_defs  # noqa: F401  (registers the experiments)
 from .experiment_defs import (
@@ -10,6 +10,7 @@ from .experiment_defs import (
     experiment_e6_bottom,
     experiment_e7_cycles,
     experiment_e8_verification,
+    experiment_e9_simulation_throughput,
 )
 from .harness import ExperimentRegistry, ExperimentTable, registry
 
@@ -25,4 +26,5 @@ __all__ = [
     "experiment_e6_bottom",
     "experiment_e7_cycles",
     "experiment_e8_verification",
+    "experiment_e9_simulation_throughput",
 ]

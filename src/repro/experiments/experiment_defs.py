@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from typing import Iterable, List, Optional, Sequence
 
 from ..analysis.ackermann import czerner_esparza_lower_bound
@@ -49,12 +50,14 @@ from ..protocols.example_4_2 import (
     example_4_2_protocol,
 )
 from ..protocols.flock_of_birds import flock_of_birds_predicate, flock_of_birds_protocol
+from ..protocols.majority import STATE_A, STATE_B, majority_protocol
 from ..protocols.succinct import (
     bej_with_leaders_state_count,
     succinct_leaderless_predicate,
     succinct_leaderless_protocol,
     succinct_leaderless_state_count,
 )
+from ..simulation import Simulator, interactions_per_second
 from .harness import ExperimentTable, registry
 
 __all__ = [
@@ -66,6 +69,7 @@ __all__ = [
     "experiment_e6_bottom",
     "experiment_e7_cycles",
     "experiment_e8_verification",
+    "experiment_e9_simulation_throughput",
 ]
 
 
@@ -511,4 +515,70 @@ def experiment_e8_verification(
             succinct_leaderless_predicate(threshold),
             min(threshold + extra_agents, 7),
         )
+    return table
+
+
+# ----------------------------------------------------------------------
+# E9 — simulation throughput: compiled engine vs sparse reference engine
+# ----------------------------------------------------------------------
+@registry.register("E9")
+def experiment_e9_simulation_throughput(
+    populations: Sequence[int] = (200, 1000),
+    max_steps: int = 20000,
+    seed: int = 2022,
+) -> ExperimentTable:
+    """Interaction throughput of the compiled engine vs the reference engine.
+
+    Runs the majority protocol (two-thirds ``A`` majority) for ``max_steps``
+    interactions under both engines with the same seed.  The engines consume
+    the random stream identically, so the two runs must agree step for step —
+    the experiment checks this and raises if they diverge, making every
+    benchmark run double as an equivalence check.
+    """
+    table = ExperimentTable(
+        experiment_id="E9",
+        title="simulation throughput: compiled vs reference engine (majority protocol)",
+        columns=["population", "engine", "interactions", "seconds", "interactions/s", "speedup"],
+        notes=(
+            "same seed on both engines; trajectories are cross-checked to agree exactly, "
+            "speedup is relative to the reference engine at the same population"
+        ),
+    )
+    protocol = majority_protocol()
+    for population in populations:
+        majority_count = (2 * population) // 3
+        inputs = Configuration(
+            {STATE_A: majority_count, STATE_B: population - majority_count}
+        )
+        outcomes = {}
+        for engine in ("reference", "compiled"):
+            simulator = Simulator(protocol, seed=seed, engine=engine)
+            start = time.perf_counter()
+            result = simulator.run(inputs, max_steps=max_steps, stability_window=max_steps)
+            elapsed = time.perf_counter() - start
+            outcomes[engine] = (result, elapsed)
+        reference_result, reference_elapsed = outcomes["reference"]
+        for engine in ("reference", "compiled"):
+            result, elapsed = outcomes[engine]
+            agrees = (
+                result.final == reference_result.final
+                and result.steps == reference_result.steps
+                and result.consensus == reference_result.consensus
+                and result.consensus_step == reference_result.consensus_step
+            )
+            if not agrees:
+                raise RuntimeError(
+                    f"engine {engine!r} diverged from the reference trajectory "
+                    f"at population {population}"
+                )
+            table.add_row(
+                **{
+                    "population": population,
+                    "engine": engine,
+                    "interactions": result.interactions_sampled,
+                    "seconds": elapsed,
+                    "interactions/s": interactions_per_second([result], elapsed),
+                    "speedup": reference_elapsed / elapsed,
+                }
+            )
     return table

@@ -25,10 +25,17 @@ class ExperimentTable:
     notes: Optional[str] = None
 
     def add_row(self, **values: object) -> None:
-        """Append a row; every column must be present."""
+        """Append a row; the keys must be exactly the declared column set.
+
+        Unknown keys are rejected rather than silently dropped by
+        :meth:`render` and :meth:`column` later on.
+        """
         missing = set(self.columns) - set(values)
         if missing:
             raise ValueError(f"row is missing columns: {sorted(missing)}")
+        unexpected = set(values) - set(self.columns)
+        if unexpected:
+            raise ValueError(f"row has unexpected columns: {sorted(unexpected)}")
         self.rows.append(values)
 
     def column(self, name: str) -> List[object]:

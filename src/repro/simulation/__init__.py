@@ -1,17 +1,30 @@
-"""Random-scheduler simulation of protocols: schedulers, runs, statistics."""
+"""Random-scheduler simulation of protocols: schedulers, runs, statistics.
 
+Simulation runs on one of two engines with identical semantics: the compiled
+dense-array engine (default, see :mod:`repro.simulation.compiled`) and the
+sparse reference engine (``engine="reference"``).
+"""
+
+from .compiled import CompiledNet
 from .scheduler import Scheduler, TransitionScheduler, UniformScheduler
 from .simulator import SimulationResult, Simulator, simulate
-from .statistics import ConvergenceStatistics, accuracy_against_predicate, summarize_runs
+from .statistics import (
+    ConvergenceStatistics,
+    accuracy_against_predicate,
+    interactions_per_second,
+    summarize_runs,
+)
 
 __all__ = [
     "Scheduler",
     "UniformScheduler",
     "TransitionScheduler",
+    "CompiledNet",
     "Simulator",
     "SimulationResult",
     "simulate",
     "ConvergenceStatistics",
     "summarize_runs",
     "accuracy_against_predicate",
+    "interactions_per_second",
 ]

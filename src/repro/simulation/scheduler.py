@@ -40,6 +40,19 @@ class Scheduler(abc.ABC):
     ) -> Optional[Transition]:
         """Return an enabled transition to fire, or ``None`` if none is enabled."""
 
+    def compiled_kind(self) -> Optional[str]:
+        """The compiled-engine discipline this scheduler admits, or ``None``.
+
+        The compiled simulation engine (:mod:`repro.simulation.compiled`)
+        generates a specialized run loop per scheduling discipline; the
+        built-in schedulers return ``"uniform"`` / ``"transition"`` here.
+        Custom schedulers return ``None`` and are run through the sparse
+        reference engine.  A subclass that overrides :meth:`choose` with
+        different semantics must override this to return ``None`` as well,
+        otherwise the compiled engine would silently ignore its ``choose``.
+        """
+        return None
+
 
 class TransitionScheduler(Scheduler):
     """Choose uniformly among the enabled transitions."""
@@ -52,6 +65,11 @@ class TransitionScheduler(Scheduler):
             return None
         return rng.choice(enabled)
 
+    def compiled_kind(self) -> Optional[str]:
+        if type(self).choose is not TransitionScheduler.choose:
+            return None
+        return "transition"
+
 
 class UniformScheduler(Scheduler):
     """Choose transitions weighted by the number of agent groups enabling them.
@@ -60,6 +78,14 @@ class UniformScheduler(Scheduler):
     ``rho`` is ``prod_p C(rho(p), pre(p))`` — the number of ways to pick the
     interacting agents.  This reproduces the classical uniform random-pairing
     dynamics for width-2 protocols and generalizes it to arbitrary widths.
+
+    :meth:`choose` below is the sparse reference implementation, which
+    recomputes every weight from scratch.  Under the compiled engine the same
+    discipline runs *incrementally*: after firing transition ``t`` only the
+    weights of transitions whose pre-sets intersect the states ``t`` changed
+    are recomputed, and a running total is maintained
+    (see :mod:`repro.simulation.compiled`).  Both paths draw exactly one
+    ``randrange(total)`` per step, so their trajectories coincide seed-for-seed.
     """
 
     def choose(
@@ -82,6 +108,14 @@ class UniformScheduler(Scheduler):
                 return transition
         # Unreachable, but keeps the type-checker and defensive readers happy.
         return weighted[-1][0]
+
+    def compiled_kind(self) -> Optional[str]:
+        if (
+            type(self).choose is not UniformScheduler.choose
+            or type(self)._weight is not UniformScheduler._weight
+        ):
+            return None
+        return "uniform"
 
     @staticmethod
     def _weight(transition: Transition, configuration: Configuration) -> int:

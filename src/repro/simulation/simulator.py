@@ -14,19 +14,40 @@ A run proceeds step by step until one of:
 
 The result records the trajectory summary, the final configuration, the
 consensus value (if any) and how many steps were needed to reach it.
+
+Two engines implement these semantics:
+
+* the **compiled engine** (the default for the built-in schedulers) maps
+  states to dense indices once per net and runs a generated loop that mutates
+  a single counts array in place, reweighs transitions incrementally and
+  checks consensus in O(1) via maintained output counters
+  (:mod:`repro.simulation.compiled`),
+* the **reference engine** (``engine="reference"``) is the original sparse
+  implementation: one immutable :class:`~repro.core.configuration.Configuration`
+  per step, full consensus rescans, full weight recomputation.
+
+Both engines consume the random stream identically, so for a fixed
+``(protocol, inputs, seed)`` they produce the same trajectory step for step;
+the compiled engine is simply 10-30x faster.  ``engine="auto"`` (the default)
+uses the compiled engine whenever the scheduler admits one and falls back to
+the reference engine otherwise (custom schedulers, configurations mentioning
+states outside the compiled universe).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..core.configuration import Configuration
 from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
+from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO
 from .scheduler import Scheduler, UniformScheduler
 
 __all__ = ["SimulationResult", "Simulator", "simulate"]
+
+_ENGINES = ("auto", "compiled", "reference")
 
 
 @dataclass
@@ -64,6 +85,10 @@ class Simulator:
         The scheduling discipline; defaults to :class:`UniformScheduler`.
     seed:
         Seed of the internal random generator (for reproducible runs).
+    engine:
+        ``"auto"`` (default) runs the compiled engine when the scheduler
+        admits one, ``"compiled"`` requires it (raising otherwise), and
+        ``"reference"`` forces the sparse reference engine.
     """
 
     def __init__(
@@ -71,13 +96,33 @@ class Simulator:
         protocol: Protocol,
         scheduler: Optional[Scheduler] = None,
         seed: Optional[int] = None,
+        engine: str = "auto",
     ):
         if protocol.petri_net is None:
             raise ValueError("simulation requires a Petri-net based protocol")
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r} (expected one of {_ENGINES})")
         self.protocol = protocol
         self.net = protocol.petri_net
         self.scheduler = scheduler or UniformScheduler()
         self.rng = random.Random(seed)
+        self.engine = engine
+
+        self._compiled = None
+        self._classes = None
+        self._stepper = None
+        if engine != "reference":
+            kind = self.scheduler.compiled_kind()
+            if kind is None:
+                if engine == "compiled":
+                    raise ValueError(
+                        f"scheduler {type(self.scheduler).__name__} has no compiled fast "
+                        "path; use engine='auto' or engine='reference'"
+                    )
+            else:
+                self._compiled = self.net.compiled(extra_states=self.protocol.states)
+                self._classes = self._compiled.output_classes(self.protocol.output_table)
+                self._stepper = self._compiled.stepper(kind, self._classes)
 
     # ------------------------------------------------------------------
     # Single runs
@@ -99,6 +144,72 @@ class Simulator:
         stability_window: int = 200,
     ) -> SimulationResult:
         """Simulate one execution from an arbitrary starting configuration."""
+        return self._dispatch(configuration, max_steps, stability_window, self.rng)
+
+    def _dispatch(
+        self,
+        configuration: Configuration,
+        max_steps: int,
+        stability_window: int,
+        rng: random.Random,
+    ) -> SimulationResult:
+        """Route a run to the compiled engine when possible."""
+        if self._stepper is not None:
+            counts = self._compiled.counts_of(configuration)
+            if counts is not None:
+                return self._run_compiled(configuration, counts, max_steps, stability_window, rng)
+            if self.engine == "compiled":
+                raise ValueError(
+                    "configuration mentions states outside the compiled universe; "
+                    "use engine='auto' or engine='reference'"
+                )
+        return self._run_reference(configuration, max_steps, stability_window, rng)
+
+    # ------------------------------------------------------------------
+    # Compiled engine
+    # ------------------------------------------------------------------
+    def _run_compiled(
+        self,
+        initial: Configuration,
+        counts: List[int],
+        max_steps: int,
+        stability_window: int,
+        rng: random.Random,
+    ) -> SimulationResult:
+        classes = self._classes
+        one = zero = undef = 0
+        for index, count in enumerate(counts):
+            if count:
+                kind = classes[index]
+                if kind == OUT_ONE:
+                    one += count
+                elif kind == OUT_ZERO:
+                    zero += count
+                elif kind == OUT_UNDEFINED:
+                    undef += count
+        steps, value, since, terminated = self._stepper(
+            counts, rng, max_steps, stability_window, one, zero, undef
+        )
+        return SimulationResult(
+            initial=initial,
+            final=self._compiled.configuration_of(counts),
+            steps=steps,
+            consensus=value if value >= 0 else None,
+            consensus_step=since if since >= 0 else None,
+            terminated=terminated,
+            interactions_sampled=steps,
+        )
+
+    # ------------------------------------------------------------------
+    # Sparse reference engine
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        configuration: Configuration,
+        max_steps: int,
+        stability_window: int,
+        rng: random.Random,
+    ) -> SimulationResult:
         initial = configuration
         current = configuration
         consensus_value = self._consensus(current)
@@ -106,7 +217,7 @@ class Simulator:
         interactions = 0
 
         for step in range(1, max_steps + 1):
-            transition = self.scheduler.choose(self.net, current, self.rng)
+            transition = self.scheduler.choose(self.net, current, rng)
             if transition is None:
                 # Terminal configuration: the consensus (if any) is definitive.
                 return SimulationResult(
@@ -167,11 +278,32 @@ class Simulator:
         max_steps: int = 100000,
         stability_window: int = 200,
     ) -> List[SimulationResult]:
-        """Simulate several independent executions from the same input."""
-        return [
-            self.run(inputs, max_steps=max_steps, stability_window=stability_window)
-            for _ in range(repetitions)
-        ]
+        """Simulate several independent executions from the same input.
+
+        Each repetition runs under its own generator seeded from the
+        simulator's master generator, so a batch is reproducible from the
+        simulator seed while the repetitions stay independent — and the two
+        engines agree run-for-run.  On the compiled path the whole batch
+        reuses a single dense counts buffer instead of reallocating one per
+        repetition.
+        """
+        configuration = self.protocol.initial_configuration(inputs)
+        buffer: Optional[List[int]] = None
+        if self._stepper is not None:
+            buffer = self._compiled.counts_of(configuration)
+        results: List[SimulationResult] = []
+        for _ in range(repetitions):
+            run_rng = random.Random(self.rng.getrandbits(64))
+            if buffer is not None:
+                counts = self._compiled.counts_of(configuration, out=buffer)
+                results.append(
+                    self._run_compiled(configuration, counts, max_steps, stability_window, run_rng)
+                )
+            else:
+                results.append(
+                    self._dispatch(configuration, max_steps, stability_window, run_rng)
+                )
+        return results
 
 
 def simulate(
@@ -181,7 +313,8 @@ def simulate(
     max_steps: int = 100000,
     stability_window: int = 200,
     scheduler: Optional[Scheduler] = None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
-    simulator = Simulator(protocol, scheduler=scheduler, seed=seed)
+    simulator = Simulator(protocol, scheduler=scheduler, seed=seed, engine=engine)
     return simulator.run(inputs, max_steps=max_steps, stability_window=stability_window)

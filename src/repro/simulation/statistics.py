@@ -16,7 +16,12 @@ from ..core.configuration import Configuration
 from ..core.predicates import Predicate
 from .simulator import SimulationResult
 
-__all__ = ["ConvergenceStatistics", "summarize_runs", "accuracy_against_predicate"]
+__all__ = [
+    "ConvergenceStatistics",
+    "summarize_runs",
+    "accuracy_against_predicate",
+    "interactions_per_second",
+]
 
 
 @dataclass
@@ -79,3 +84,17 @@ def accuracy_against_predicate(
     expected = predicate.evaluate(inputs)
     correct = sum(1 for result in results if result.consensus == expected)
     return correct / len(results)
+
+
+def interactions_per_second(
+    results: Sequence[SimulationResult], elapsed_seconds: float
+) -> float:
+    """Aggregate interaction throughput of a batch of runs.
+
+    ``elapsed_seconds`` is the wall-clock time the batch took; the throughput
+    benchmark (E9) uses this to compare the engines.
+    """
+    if elapsed_seconds <= 0:
+        raise ValueError("elapsed_seconds must be positive")
+    total = sum(result.interactions_sampled for result in results)
+    return total / elapsed_seconds

@@ -1,4 +1,4 @@
-"""Tests for the experiment harness and the E1..E8 experiment definitions."""
+"""Tests for the experiment harness and the E1..E9 experiment definitions."""
 
 import pytest
 
@@ -12,6 +12,7 @@ from repro.experiments import (
     experiment_e6_bottom,
     experiment_e7_cycles,
     experiment_e8_verification,
+    experiment_e9_simulation_throughput,
     registry,
 )
 
@@ -23,6 +24,14 @@ class TestHarness:
             table.add_row(a=1)
         table.add_row(a=1, b=2)
         assert len(table) == 1
+
+    def test_add_row_rejects_unexpected_columns(self):
+        # Regression: unknown keys used to be accepted silently and then
+        # dropped by render()/column().
+        table = ExperimentTable("X", "test", columns=["a", "b"])
+        with pytest.raises(ValueError, match="unexpected"):
+            table.add_row(a=1, b=2, c=3)
+        assert len(table) == 0
 
     def test_column_extraction(self):
         table = ExperimentTable("X", "test", columns=["a"])
@@ -41,7 +50,7 @@ class TestHarness:
         assert "a note" in text
 
     def test_registry_contains_all_experiments(self):
-        assert set(registry.ids()) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+        assert set(registry.ids()) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 
     def test_registry_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -145,3 +154,17 @@ class TestExperimentE8:
         )
         assert all(row["failures"] == 0 for row in table.rows)
         assert all(row["inputs"] > 0 for row in table.rows)
+
+
+class TestExperimentE9:
+    def test_engines_agree_and_rows_are_paired(self):
+        table = experiment_e9_simulation_throughput(populations=(60,), max_steps=1500)
+        assert len(table) == 2
+        by_engine = {row["engine"]: row for row in table.rows}
+        assert set(by_engine) == {"reference", "compiled"}
+        # The experiment raises on trajectory divergence, so both engines
+        # must have sampled the same number of interactions.
+        assert by_engine["reference"]["interactions"] == by_engine["compiled"]["interactions"]
+        assert all(row["interactions/s"] > 0 for row in table.rows)
+        assert by_engine["reference"]["speedup"] == 1.0
+        assert by_engine["compiled"]["speedup"] > 0

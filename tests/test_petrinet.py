@@ -59,6 +59,12 @@ class TestStructure:
         assert doubling_net.is_conservative()
         assert not spawn_net.is_conservative()
 
+    def test_membership_uses_structural_equality(self, doubling_net):
+        # __contains__ answers from the cached frozenset, so an equal but
+        # distinct Transition object must still be found.
+        assert pairwise(("i", "i"), ("p", "p")) in doubling_net
+        assert pairwise(("i", "p"), ("p", "i")) not in doubling_net
+
     def test_restrict_projects_transitions(self, doubling_net):
         restricted = doubling_net.restrict(["i"])
         assert restricted.states == frozenset({"i"})

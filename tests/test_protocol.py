@@ -112,6 +112,12 @@ class TestOutputs:
         with pytest.raises(ValueError):
             simple_protocol.has_consensus(zero(), 2)
 
+    def test_output_table_is_a_read_only_view(self, simple_protocol):
+        table = simple_protocol.output_table
+        assert dict(table) == simple_protocol.output
+        with pytest.raises(TypeError):
+            table["p"] = OUTPUT_ZERO
+
 
 class TestInitialConfigurations:
     def test_initial_configuration_adds_leaders(self, leader_protocol):

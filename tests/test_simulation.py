@@ -20,6 +20,7 @@ from repro.simulation import (
     TransitionScheduler,
     UniformScheduler,
     accuracy_against_predicate,
+    interactions_per_second,
     simulate,
     summarize_runs,
 )
@@ -166,3 +167,12 @@ class TestStatistics:
 
     def test_accuracy_of_empty_batch_is_zero(self):
         assert accuracy_against_predicate([], majority_predicate(), from_counts(A=1)) == 0.0
+
+    def test_interactions_per_second(self):
+        protocol = majority_protocol()
+        simulator = Simulator(protocol, seed=3)
+        results = simulator.run_many(from_counts(A=4, B=2), repetitions=3, max_steps=3000)
+        total = sum(result.interactions_sampled for result in results)
+        assert interactions_per_second(results, 2.0) == total / 2.0
+        with pytest.raises(ValueError):
+            interactions_per_second(results, 0.0)
