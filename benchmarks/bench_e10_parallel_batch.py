@@ -1,0 +1,30 @@
+"""Benchmark E10 — parallel batch throughput of the process backend.
+
+Runs a seeded majority ensemble at population 1000 once on the serial backend
+and once per worker count on the ``multiprocessing`` backend.  The experiment
+itself raises if any parallel ensemble diverges from the serial one (the
+per-repetition seeds are derived before scheduling, so results must be
+bit-identical), which makes the benchmark double as a determinism check.
+
+The headline claim — parallel ``run_many`` throughput at least 2x serial with
+4 workers — only holds where 4 hardware threads exist, so that assertion is
+gated on the visible CPU count; the determinism cross-check runs everywhere.
+"""
+
+import os
+
+from conftest import report
+
+from repro.experiments import experiment_e10_parallel_batch
+
+
+def test_bench_e10_parallel_batch(benchmark):
+    table = benchmark.pedantic(experiment_e10_parallel_batch, rounds=1, iterations=1)
+    speedup_at = {
+        row["workers"]: row["speedup"] for row in table.rows if row["backend"] == "process"
+    }
+    assert set(speedup_at) == {1, 2, 4}
+    assert all(speedup > 0.0 for speedup in speedup_at.values())
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup_at[4] >= 2.0
+    report(table)

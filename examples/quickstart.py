@@ -7,7 +7,8 @@ This example walks through the core workflow of the library:
 2. verify exhaustively (on bounded populations) that it stably computes the
    predicate, exactly as Section 2 of the paper defines stable computation,
 3. simulate it on a larger population under the uniform random scheduler,
-4. evaluate the Theorem 4.3 inequality on the protocol.
+4. record one run's trajectory (the fired transitions) and replay it,
+5. evaluate the Theorem 4.3 inequality on the protocol.
 
 Run with:  python examples/quickstart.py
 """
@@ -51,7 +52,20 @@ def main() -> None:
     )
     print()
 
-    # 4. Theorem 4.3: the protocol's parameters admit the threshold it decides.
+    # 4. Trajectory recording: both engines can record the fired transition
+    #    indices into a bounded ring buffer; a complete trajectory replays on
+    #    the net to exactly the run's final configuration.
+    result = simulator.run(inputs, max_steps=50000, record_trajectory=True)
+    trajectory = result.trajectory
+    replayed = trajectory.replay(protocol.petri_net, result.initial)
+    last = [t.name or "?" for t in trajectory.transitions(protocol.petri_net)[-3:]]
+    print(
+        f"recorded trajectory: {len(trajectory)} firings (dropped {trajectory.dropped}), "
+        f"last transitions {last}, replay matches final: {replayed == result.final}"
+    )
+    print()
+
+    # 5. Theorem 4.3: the protocol's parameters admit the threshold it decides.
     holds = theorem_4_3_holds_for_protocol(protocol, THRESHOLD)
     print(
         f"Theorem 4.3 inequality for (x >= {THRESHOLD}) with |P|={protocol.num_states}, "

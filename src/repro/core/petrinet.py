@@ -183,6 +183,14 @@ class PetriNet:
         label = self.name or "PetriNet"
         return f"{label}(|P|={self.num_states}, |T|={self.num_transitions}, width={self.width})"
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the compiled-net cache: it holds ``exec``-generated stepper
+        functions that cannot be pickled.  Unpickled nets (e.g. in batch
+        worker processes) recompile on first simulation and re-cache locally."""
+        state = self.__dict__.copy()
+        state["_compiled_cache"] = {}
+        return state
+
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Experiment harness and the E1..E9 experiment definitions (see DESIGN.md)."""
+"""Experiment harness and the E1..E10 experiment definitions (see DESIGN.md)."""
 
 from . import experiment_defs  # noqa: F401  (registers the experiments)
 from .experiment_defs import (
@@ -11,6 +11,7 @@ from .experiment_defs import (
     experiment_e7_cycles,
     experiment_e8_verification,
     experiment_e9_simulation_throughput,
+    experiment_e10_parallel_batch,
 )
 from .harness import ExperimentRegistry, ExperimentTable, registry
 
@@ -27,4 +28,5 @@ __all__ = [
     "experiment_e7_cycles",
     "experiment_e8_verification",
     "experiment_e9_simulation_throughput",
+    "experiment_e10_parallel_batch",
 ]

@@ -57,7 +57,7 @@ from ..protocols.succinct import (
     succinct_leaderless_protocol,
     succinct_leaderless_state_count,
 )
-from ..simulation import Simulator, interactions_per_second
+from ..simulation import BatchRunner, Simulator, interactions_per_second
 from .harness import ExperimentTable, registry
 
 __all__ = [
@@ -70,6 +70,7 @@ __all__ = [
     "experiment_e7_cycles",
     "experiment_e8_verification",
     "experiment_e9_simulation_throughput",
+    "experiment_e10_parallel_batch",
 ]
 
 
@@ -581,4 +582,96 @@ def experiment_e9_simulation_throughput(
                     "speedup": reference_elapsed / elapsed,
                 }
             )
+    return table
+
+
+# ----------------------------------------------------------------------
+# E10 — parallel batch throughput: process fan-out vs serial ensembles
+# ----------------------------------------------------------------------
+@registry.register("E10")
+def experiment_e10_parallel_batch(
+    population: int = 1000,
+    repetitions: int = 32,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    max_steps: int = 20000,
+    seed: int = 2022,
+) -> ExperimentTable:
+    """Ensemble throughput of the parallel batch backend vs the serial one.
+
+    Runs a ``repetitions``-strong majority ensemble (two-thirds ``A``
+    majority at the given population) once serially and once per worker count
+    under ``backend="process"``, all from the same master seed.  The batch
+    subsystem derives per-repetition seeds before scheduling, so every
+    backend must return the exact same per-run results — the experiment
+    verifies this run for run and raises on any divergence, making the
+    benchmark double as a determinism check.  Speedups are relative to the
+    serial backend; on a single-core machine the process rows mostly measure
+    fan-out overhead.
+    """
+    table = ExperimentTable(
+        experiment_id="E10",
+        title="parallel batch throughput: process fan-out vs serial (majority ensemble)",
+        columns=[
+            "population",
+            "backend",
+            "workers",
+            "repetitions",
+            "interactions",
+            "seconds",
+            "interactions/s",
+            "speedup",
+        ],
+        notes=(
+            "same master seed everywhere; per-run results are cross-checked to be "
+            "bit-identical across backends, speedup is relative to the serial backend"
+        ),
+    )
+    protocol = majority_protocol()
+    majority_count = (2 * population) // 3
+    inputs = Configuration({STATE_A: majority_count, STATE_B: population - majority_count})
+
+    def timed(runner: BatchRunner):
+        start = time.perf_counter()
+        results = runner.run_many(
+            inputs, repetitions, seed=seed, max_steps=max_steps, stability_window=max_steps
+        )
+        return results, time.perf_counter() - start
+
+    serial_results, serial_elapsed = timed(BatchRunner(protocol, backend="serial"))
+    interactions = sum(result.interactions_sampled for result in serial_results)
+    table.add_row(
+        **{
+            "population": population,
+            "backend": "serial",
+            "workers": 1,
+            "repetitions": repetitions,
+            "interactions": interactions,
+            "seconds": serial_elapsed,
+            "interactions/s": interactions_per_second(serial_results, serial_elapsed),
+            "speedup": 1.0,
+        }
+    )
+    for workers in worker_counts:
+        results, elapsed = timed(
+            BatchRunner(protocol, backend="process", max_workers=workers)
+        )
+        if results != serial_results:
+            raise RuntimeError(
+                f"process backend with {workers} workers diverged from the serial "
+                f"ensemble at population {population}"
+            )
+        table.add_row(
+            **{
+                "population": population,
+                "backend": "process",
+                "workers": workers,
+                "repetitions": repetitions,
+                # Recomputed from this backend's own results (not the serial
+                # total) so the cross-backend equality is visible in the table.
+                "interactions": sum(r.interactions_sampled for r in results),
+                "seconds": elapsed,
+                "interactions/s": interactions_per_second(results, elapsed),
+                "speedup": serial_elapsed / elapsed,
+            }
+        )
     return table

@@ -1,10 +1,37 @@
-"""Random-scheduler simulation of protocols: schedulers, runs, statistics.
+"""Random-scheduler simulation of protocols: engines, batches, trajectories.
 
-Simulation runs on one of two engines with identical semantics: the compiled
-dense-array engine (default, see :mod:`repro.simulation.compiled`) and the
-sparse reference engine (``engine="reference"``).
+The simulation layer is organized in three tiers:
+
+**Engines** (:mod:`~repro.simulation.simulator`,
+:mod:`~repro.simulation.compiled`).  A single run executes on one of two
+engines with identical semantics: the *compiled* dense-array engine (default
+for the built-in schedulers — states mapped to dense indices, a generated
+stepper mutating one counts array with incremental scheduler weights and O(1)
+consensus counters) and the sparse *reference* engine
+(``engine="reference"`` — one immutable configuration per step, full
+rescans).  Both consume the random stream identically, so trajectories match
+step for step; the test suite asserts this across the named protocols and a
+seeded sweep of random nets.
+
+**Batches** (:mod:`~repro.simulation.batch`).  Ensembles of independent runs
+(``Simulator.run_many``, :class:`BatchRunner`, :func:`run_ensemble`) derive
+one seed per repetition from a master generator up front and can execute
+either serially or fanned out over ``multiprocessing`` workers
+(``backend="process"``); chunked, index-ordered dispatch keeps the two
+backends bit-identical, and workers rebuild compiled steppers from pickled
+protocols on first use.
+
+**Trajectories** (:mod:`~repro.simulation.trajectory`).  Opt-in path
+recording (``record_trajectory=True``): both engines write the fired
+transition indices into a bounded ring buffer, decoded into a
+:class:`Trajectory` that keeps the last ``trajectory_capacity`` firings,
+counts what was dropped, and can replay complete paths on the net.
+
+:mod:`~repro.simulation.statistics` aggregates batch results into convergence
+statistics.
 """
 
+from .batch import BatchRunner, run_ensemble
 from .compiled import CompiledNet
 from .scheduler import Scheduler, TransitionScheduler, UniformScheduler
 from .simulator import SimulationResult, Simulator, simulate
@@ -14,6 +41,7 @@ from .statistics import (
     interactions_per_second,
     summarize_runs,
 )
+from .trajectory import DEFAULT_TRAJECTORY_CAPACITY, Trajectory
 
 __all__ = [
     "Scheduler",
@@ -23,6 +51,10 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    "BatchRunner",
+    "run_ensemble",
+    "Trajectory",
+    "DEFAULT_TRAJECTORY_CAPACITY",
     "ConvergenceStatistics",
     "summarize_runs",
     "accuracy_against_predicate",

@@ -1,0 +1,332 @@
+"""Parallel batch execution of simulation ensembles.
+
+The convergence experiments rest on ensembles of independent stochastic runs
+(:meth:`Simulator.run_many <repro.simulation.simulator.Simulator.run_many>`).
+Each repetition is seeded from a master generator and runs independently, so
+the ensemble is embarrassingly parallel — this module fans it out over
+``multiprocessing`` worker processes while keeping the results **bit-identical
+to the serial order**:
+
+* the per-repetition seeds are derived from the master seed up front, before
+  any scheduling decision, so neither the backend nor the worker count nor the
+  chunking can change which seed a repetition receives,
+* repetitions are dispatched to workers in contiguous, index-ordered chunks
+  through ``Pool.map``, which returns the chunks in submission order, so the
+  flattened result list is in repetition order,
+* each worker process unpickles the protocol once (steppers and compiled-net
+  caches are dropped on pickling and regenerated in the worker — see
+  ``CompiledNet.__getstate__``), builds one
+  :class:`~repro.simulation.simulator.Simulator`, and reuses one dense counts
+  buffer across its whole share of the ensemble.
+
+Entry points:
+
+* :func:`run_ensemble` — functional core: run a list of seeds on a backend,
+* :class:`BatchRunner` — a configured handle (protocol + backend knobs) for
+  repeated ensembles, the batch analogue of constructing a ``Simulator``.
+
+``backend="serial"`` runs the same code path without processes and is the
+reference ordering; ``backend="process"`` must agree with it exactly (the
+test suite and the E10 experiment both assert this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import random
+from typing import List, Optional, Sequence
+
+from ..core.configuration import Configuration
+from ..core.protocol import Protocol
+from .scheduler import Scheduler
+from .simulator import SimulationResult, Simulator
+from .trajectory import DEFAULT_TRAJECTORY_CAPACITY
+
+__all__ = ["BatchRunner", "run_ensemble"]
+
+_BACKENDS = ("serial", "process")
+
+#: Environment override for the default worker count (used by the CI batch
+#: smoke job to pin the suite to a known degree of parallelism).
+_WORKERS_ENV_VAR = "REPRO_BATCH_DEFAULT_WORKERS"
+
+
+def _default_max_workers() -> int:
+    override = os.environ.get(_WORKERS_ENV_VAR)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            raise ValueError(
+                f"{_WORKERS_ENV_VAR} must be an integer worker count, "
+                f"got {override!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Shared option validation and pickling
+# ----------------------------------------------------------------------
+def _validate_batch_options(
+    backend: str, max_workers: Optional[int], chunk_size: Optional[int]
+) -> None:
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (expected one of {_BACKENDS})")
+    if max_workers is not None and max_workers < 1:
+        raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+
+
+def _dumps_for_workers(payload: object) -> bytes:
+    """Pickle ``payload`` for transport to worker processes, with a clear error."""
+    try:
+        return pickle.dumps(payload)
+    except (pickle.PicklingError, TypeError, AttributeError) as error:
+        raise ValueError(
+            "backend='process' requires a picklable protocol and scheduler "
+            f"({error}); use backend='serial' instead"
+        ) from error
+
+
+#: Per-process state installed by the pool initializer: the worker's simulator
+#: plus the run parameters shared by every repetition of the ensemble.
+_WORKER_STATE = None
+
+
+def _initialize_worker(spec_bytes: bytes) -> None:
+    """Pool initializer: unpickle the ensemble spec and build one simulator.
+
+    The spec travels as an explicit pickle blob (not fork-inherited memory) so
+    the pickling path is exercised under every multiprocessing start method,
+    and each worker compiles its own steppers exactly once.
+    """
+    global _WORKER_STATE
+    protocol, scheduler, engine, configuration, max_steps, stability_window, record, capacity = (
+        pickle.loads(spec_bytes)
+    )
+    simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
+    _WORKER_STATE = (simulator, configuration, max_steps, stability_window, record, capacity)
+
+
+def _run_worker_chunk(seeds: Sequence[int]) -> List[SimulationResult]:
+    simulator, configuration, max_steps, stability_window, record, capacity = _WORKER_STATE
+    return simulator._run_seeds(
+        configuration, list(seeds), max_steps, stability_window, record, capacity
+    )
+
+
+# ----------------------------------------------------------------------
+# Ensemble execution
+# ----------------------------------------------------------------------
+def run_ensemble(
+    protocol: Protocol,
+    inputs: Configuration,
+    seeds: Sequence[int],
+    scheduler: Optional[Scheduler] = None,
+    engine: str = "auto",
+    max_steps: int = 100000,
+    stability_window: int = 200,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    start_method: Optional[str] = None,
+    record_trajectory: bool = False,
+    trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+    _serial_simulator: Optional[Simulator] = None,
+) -> List[SimulationResult]:
+    """Run one independent repetition per seed and return them in seed order.
+
+    Parameters
+    ----------
+    protocol, scheduler, engine:
+        As for :class:`~repro.simulation.simulator.Simulator`.  Schedulers
+        must not carry mutable state across runs (the built-ins are
+        stateless): the serial backend reuses one instance for every
+        repetition while each worker process runs on a freshly unpickled
+        copy, so cross-repetition scheduler state would silently break the
+        bit-identical guarantee.
+    inputs:
+        Input configuration; every repetition starts from
+        ``protocol.initial_configuration(inputs)``.
+    seeds:
+        One RNG seed per repetition.  The result list is index-aligned with
+        this sequence regardless of backend, worker count, or chunking.
+    backend:
+        ``"serial"`` runs in-process; ``"process"`` fans the seeds out over a
+        ``multiprocessing`` pool.  Both orderings are bit-identical.
+    max_workers:
+        Process count for the ``"process"`` backend (default: the
+        ``REPRO_BATCH_DEFAULT_WORKERS`` environment override, else the CPU
+        count).  Clamped to the number of repetitions; must be at least 1.
+    chunk_size:
+        Seeds per task handed to a worker (default: ensemble split into about
+        four chunks per worker, balancing load against dispatch overhead).
+    start_method:
+        Optional ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default.
+    record_trajectory, trajectory_capacity:
+        As for :meth:`Simulator.run <repro.simulation.simulator.Simulator.run>`;
+        recorded trajectories are returned with the results across the process
+        boundary.
+    """
+    _validate_batch_options(backend, max_workers, chunk_size)
+    if record_trajectory and trajectory_capacity < 1:
+        # _run_seeds enters the engines below _dispatch's own validation, and
+        # under backend="process" a late failure would surface from inside a
+        # pool worker; reject the bad argument here, at the call site.
+        raise ValueError("trajectory_capacity must be at least 1")
+
+    seeds = list(seeds)
+    if backend == "serial" or not seeds:
+        simulator = _serial_simulator
+        if simulator is None:
+            simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
+        configuration = protocol.initial_configuration(inputs)
+        return simulator._run_seeds(
+            configuration, seeds, max_steps, stability_window,
+            record_trajectory, trajectory_capacity,
+        )
+
+    if _serial_simulator is None:
+        # Validate the (protocol, scheduler, engine) combination in the
+        # parent before spawning anything: a Simulator constructor error
+        # inside the pool initializer would crash every worker, and
+        # multiprocessing responds by respawning them forever instead of
+        # surfacing the exception.  A caller-supplied simulator already
+        # proves the combination valid.
+        Simulator(protocol, scheduler=scheduler, engine=engine)
+    configuration = protocol.initial_configuration(inputs)
+    workers = max_workers if max_workers is not None else _default_max_workers()
+    workers = max(1, min(workers, len(seeds)))
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(seeds) // (workers * 4)))
+    chunks = [seeds[i : i + chunk_size] for i in range(0, len(seeds), chunk_size)]
+
+    spec_bytes = _dumps_for_workers(
+        (
+            protocol, scheduler, engine, configuration,
+            max_steps, stability_window, record_trajectory, trajectory_capacity,
+        )
+    )
+
+    context = multiprocessing.get_context(start_method)
+    with context.Pool(
+        processes=workers, initializer=_initialize_worker, initargs=(spec_bytes,)
+    ) as pool:
+        chunk_results = pool.map(_run_worker_chunk, chunks)
+    return [result for chunk in chunk_results for result in chunk]
+
+
+class BatchRunner:
+    """A configured handle for repeated parallel ensembles.
+
+    The batch analogue of constructing a :class:`Simulator`: fix the protocol,
+    scheduler, engine and backend once, then call :meth:`run_many` per
+    ensemble.  Every ensemble derives its per-repetition seeds from the given
+    master seed exactly like ``Simulator.run_many`` does, so for the same
+    ``(protocol, inputs, seed)`` the three spellings agree bit for bit::
+
+        Simulator(p, seed=s).run_many(x, n)                      # serial
+        Simulator(p, seed=s).run_many(x, n, backend="process")   # parallel
+        BatchRunner(p).run_many(x, n, seed=s)                    # parallel
+
+    Parameters mirror :func:`run_ensemble`; ``backend`` defaults to
+    ``"process"`` since a serial ensemble is what ``Simulator.run_many``
+    already provides.
+
+    Note on cost: each ``run_many``/``run_seeds`` call currently builds and
+    tears down its own worker pool, so every call pays pool startup plus
+    per-worker protocol unpickling and stepper compilation.  That fixed cost
+    amortizes over large ensembles but dominates repeated tiny ones — batch
+    your repetitions into as few calls as possible.  (A persistent pool with
+    an explicit close()/context-manager lifecycle is a ROADMAP item.)
+    """
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        scheduler: Optional[Scheduler] = None,
+        engine: str = "auto",
+        backend: str = "process",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        _validate_batch_options(backend, max_workers, chunk_size)
+        # Fail fast: validate scheduler/engine compatibility (by building a
+        # simulator in-process) and, for the process backend, that the workers
+        # could actually receive the protocol and scheduler.  The simulator is
+        # kept: serial ensembles run on it (reusing its compiled stepper and
+        # counts buffer across calls) and process ensembles use it as proof
+        # that run_ensemble need not re-validate.
+        self._simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
+        if backend == "process":
+            _dumps_for_workers((protocol, scheduler))
+        self.protocol = protocol
+        self.scheduler = scheduler
+        self.engine = engine
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+
+    def run_many(
+        self,
+        inputs: Configuration,
+        repetitions: int,
+        seed: Optional[int] = None,
+        max_steps: int = 100000,
+        stability_window: int = 200,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+    ) -> List[SimulationResult]:
+        """Run ``repetitions`` independent executions seeded from ``seed``."""
+        if repetitions < 0:
+            raise ValueError(f"repetitions must be non-negative, got {repetitions}")
+        master = random.Random(seed)
+        seeds = [master.getrandbits(64) for _ in range(repetitions)]
+        return self.run_seeds(
+            inputs,
+            seeds,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            record_trajectory=record_trajectory,
+            trajectory_capacity=trajectory_capacity,
+        )
+
+    def run_seeds(
+        self,
+        inputs: Configuration,
+        seeds: Sequence[int],
+        max_steps: int = 100000,
+        stability_window: int = 200,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+    ) -> List[SimulationResult]:
+        """Run one repetition per explicit seed (index-aligned results)."""
+        return run_ensemble(
+            self.protocol,
+            inputs,
+            seeds,
+            scheduler=self.scheduler,
+            engine=self.engine,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            backend=self.backend,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            start_method=self.start_method,
+            record_trajectory=record_trajectory,
+            trajectory_capacity=trajectory_capacity,
+            _serial_simulator=self._simulator,
+        )
+
+    def __repr__(self) -> str:
+        workers = self.max_workers if self.max_workers is not None else "auto"
+        return (
+            f"BatchRunner({self.protocol.name or 'protocol'}, backend={self.backend!r}, "
+            f"max_workers={workers})"
+        )

@@ -111,7 +111,14 @@ class CompiledNet:
             affected.append(tuple(sorted(hit)))
         self.affected: Tuple[Tuple[int, ...], ...] = tuple(affected)
 
-        self._steppers: Dict[Tuple[str, Tuple[int, ...]], object] = {}
+        self._steppers: Dict[Tuple[str, Tuple[int, ...], bool], object] = {}
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the generated steppers: ``exec``-compiled functions cannot be
+        pickled, and worker processes regenerate them on first use anyway."""
+        state = self.__dict__.copy()
+        state["_steppers"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Measures
@@ -202,7 +209,7 @@ class CompiledNet:
     # ------------------------------------------------------------------
     # Stepper generation
     # ------------------------------------------------------------------
-    def stepper(self, kind: str, classes: Tuple[int, ...]):
+    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False):
         """The generated simulation loop for a scheduler ``kind`` and output classes.
 
         The function has the signature::
@@ -212,13 +219,21 @@ class CompiledNet:
 
         where ``counts`` is mutated in place, ``one``/``zero``/``undef`` are
         the initial consensus counters, and ``consensus_value`` /
-        ``consensus_since`` use ``-1`` as the ``None`` sentinel.  Steppers are
-        cached per ``(kind, classes)``.
+        ``consensus_since`` use ``-1`` as the ``None`` sentinel.
+
+        With ``record=True`` the signature gains two trailing parameters
+        ``(ring, capacity)``: ``ring`` is a caller-allocated list of length
+        ``capacity`` into which the loop writes the fired transition index of
+        every step, wrapping around when full (decode with
+        :meth:`~repro.simulation.trajectory.Trajectory.from_ring`).  Recording
+        is a separate generated variant so the non-recording fast path pays
+        nothing for the feature.  Steppers are cached per
+        ``(kind, classes, record)``.
         """
-        key = (kind, tuple(classes))
+        key = (kind, tuple(classes), bool(record))
         stepper = self._steppers.get(key)
         if stepper is None:
-            stepper = _generate_stepper(self, kind, key[1])
+            stepper = _generate_stepper(self, kind, key[1], record=key[2])
             self._steppers[key] = stepper
         return stepper
 
@@ -278,6 +293,7 @@ def _fire_statements(
     consensus_deltas: Tuple[Tuple[int, int, int], ...],
     kind: str,
     has_undef: bool,
+    record: bool = False,
 ) -> List[str]:
     """The straight-line statements executed when transition ``t`` fires.
 
@@ -285,6 +301,10 @@ def _fire_statements(
     prefix of the dispatch branch.
     """
     statements: List[str] = []
+    if record and kind == "uniform":
+        # The transition-kind loop records the chosen index once before the
+        # dispatch; the uniform dispatch only knows it inside the branch.
+        statements.append(f"ring[rpos] = {t}")
     for index, diff in net.delta_lists[t]:
         statements.append(f"c{index} += {diff}" if diff > 0 else f"c{index} -= {-diff}")
     counters_changed = any(consensus_deltas[t])
@@ -323,7 +343,7 @@ def _fire_statements(
     return statements
 
 
-def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
+def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], record: bool = False):
     """Emit and compile the specialized simulation loop for ``net``."""
     if kind not in _KINDS:
         raise ValueError(f"unknown compiled scheduler kind: {kind!r} (expected one of {_KINDS})")
@@ -335,12 +355,18 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
     read = {index for pre in net.pre_lists for index, _ in pre}
     written = sorted({index for delta in net.delta_lists for index, _ in delta})
     touched = sorted(read | set(written))
+    extra_params = ", ring, capacity" if record else ""
 
     lines: List[str] = []
     emit = lines.append
-    emit("def __compiled_stepper(counts, rng, max_steps, stability_window, one, zero, undef):")
+    emit(
+        "def __compiled_stepper(counts, rng, max_steps, stability_window, "
+        f"one, zero, undef{extra_params}):"
+    )
     for index in touched:
         emit(f"    c{index} = counts[{index}]")
+    if record:
+        emit("    rpos = 0")
     if kind == "uniform":
         emit("    randrange = rng.randrange")
         for t in range(num_transitions):
@@ -367,7 +393,7 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
         emit("        pick = randrange(total)")
         emit("        step += 1")
         if num_transitions == 1:
-            for statement in _fire_statements(net, 0, consensus_deltas, kind, has_undef):
+            for statement in _fire_statements(net, 0, consensus_deltas, kind, has_undef, record):
                 emit(f"        {statement}")
         else:
             for t in range(num_transitions):
@@ -377,7 +403,7 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
                     emit(f"        elif pick < (cum := cum + w{t}):")
                 else:
                     emit("        else:")
-                for statement in _fire_statements(net, t, consensus_deltas, kind, has_undef):
+                for statement in _fire_statements(net, t, consensus_deltas, kind, has_undef, record):
                     emit(f"            {statement}")
     else:
         emit("        enabled = []")
@@ -393,6 +419,8 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
         emit("            break")
         emit("        t = choice(enabled)")
         emit("        step += 1")
+        if record:
+            emit("        ring[rpos] = t")
         if num_transitions == 1:
             for statement in _fire_statements(net, 0, consensus_deltas, kind, has_undef):
                 emit(f"        {statement}")
@@ -406,6 +434,10 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
                     emit("        else:")
                 for statement in _fire_statements(net, t, consensus_deltas, kind, has_undef):
                     emit(f"            {statement}")
+    if record:
+        emit("        rpos += 1")
+        emit("        if rpos == capacity:")
+        emit("            rpos = 0")
     emit("        if consensus_value >= 0 and step - consensus_since >= stability_window:")
     emit("            break")
     for index in written:
@@ -414,7 +446,8 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...]):
 
     source = "\n".join(lines)
     namespace = {"comb": comb}
-    exec(compile(source, f"<compiled stepper: {net.net.name or 'net'}/{kind}>", "exec"), namespace)
+    label = f"{net.net.name or 'net'}/{kind}" + ("/recording" if record else "")
+    exec(compile(source, f"<compiled stepper: {label}>", "exec"), namespace)
     stepper = namespace["__compiled_stepper"]
     stepper.__source__ = source  # kept for debugging and the test suite
     return stepper

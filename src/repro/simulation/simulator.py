@@ -37,6 +37,7 @@ states outside the compiled universe).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -44,6 +45,7 @@ from ..core.configuration import Configuration
 from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
 from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO
 from .scheduler import Scheduler, UniformScheduler
+from .trajectory import DEFAULT_TRAJECTORY_CAPACITY, Trajectory
 
 __all__ = ["SimulationResult", "Simulator", "simulate"]
 
@@ -61,6 +63,8 @@ class SimulationResult:
     consensus_step: Optional[int]
     terminated: bool
     interactions_sampled: int
+    #: Recorded path (``record_trajectory=True`` only), else ``None``.
+    trajectory: Optional[Trajectory] = None
 
     @property
     def converged(self) -> bool:
@@ -111,6 +115,7 @@ class Simulator:
         self._compiled = None
         self._classes = None
         self._stepper = None
+        self._kind = None
         if engine != "reference":
             kind = self.scheduler.compiled_kind()
             if kind is None:
@@ -123,6 +128,7 @@ class Simulator:
                 self._compiled = self.net.compiled(extra_states=self.protocol.states)
                 self._classes = self._compiled.output_classes(self.protocol.output_table)
                 self._stepper = self._compiled.stepper(kind, self._classes)
+                self._kind = kind
 
     # ------------------------------------------------------------------
     # Single runs
@@ -132,19 +138,38 @@ class Simulator:
         inputs: Configuration,
         max_steps: int = 100000,
         stability_window: int = 200,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> SimulationResult:
-        """Simulate one execution from the initial configuration ``rho_L + inputs``."""
+        """Simulate one execution from the initial configuration ``rho_L + inputs``.
+
+        With ``record_trajectory=True`` the result carries a
+        :class:`~repro.simulation.trajectory.Trajectory` of the last
+        ``trajectory_capacity`` fired transition indices (a bounded ring
+        buffer, so memory stays flat however long the run).
+        """
         configuration = self.protocol.initial_configuration(inputs)
-        return self.run_from(configuration, max_steps=max_steps, stability_window=stability_window)
+        return self.run_from(
+            configuration,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            record_trajectory=record_trajectory,
+            trajectory_capacity=trajectory_capacity,
+        )
 
     def run_from(
         self,
         configuration: Configuration,
         max_steps: int = 100000,
         stability_window: int = 200,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> SimulationResult:
         """Simulate one execution from an arbitrary starting configuration."""
-        return self._dispatch(configuration, max_steps, stability_window, self.rng)
+        return self._dispatch(
+            configuration, max_steps, stability_window, self.rng,
+            record_trajectory, trajectory_capacity,
+        )
 
     def _dispatch(
         self,
@@ -152,18 +177,28 @@ class Simulator:
         max_steps: int,
         stability_window: int,
         rng: random.Random,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> SimulationResult:
         """Route a run to the compiled engine when possible."""
+        if record_trajectory and trajectory_capacity < 1:
+            raise ValueError("trajectory_capacity must be at least 1")
         if self._stepper is not None:
             counts = self._compiled.counts_of(configuration)
             if counts is not None:
-                return self._run_compiled(configuration, counts, max_steps, stability_window, rng)
+                return self._run_compiled(
+                    configuration, counts, max_steps, stability_window, rng,
+                    record_trajectory, trajectory_capacity,
+                )
             if self.engine == "compiled":
                 raise ValueError(
                     "configuration mentions states outside the compiled universe; "
                     "use engine='auto' or engine='reference'"
                 )
-        return self._run_reference(configuration, max_steps, stability_window, rng)
+        return self._run_reference(
+            configuration, max_steps, stability_window, rng,
+            record_trajectory, trajectory_capacity,
+        )
 
     # ------------------------------------------------------------------
     # Compiled engine
@@ -175,6 +210,8 @@ class Simulator:
         max_steps: int,
         stability_window: int,
         rng: random.Random,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> SimulationResult:
         classes = self._classes
         one = zero = undef = 0
@@ -187,9 +224,27 @@ class Simulator:
                     zero += count
                 elif kind == OUT_UNDEFINED:
                     undef += count
-        steps, value, since, terminated = self._stepper(
-            counts, rng, max_steps, stability_window, one, zero, undef
-        )
+        trajectory = None
+        if record_trajectory:
+            # The run fires at most max_steps transitions, so the physical
+            # buffer never needs to exceed that — a huge trajectory_capacity
+            # on a short run should not allocate gigabytes.  The reported
+            # capacity stays as requested: with total_fired <= max_steps the
+            # surviving suffix is the same either way.
+            physical = max(1, min(trajectory_capacity, max_steps))
+            ring = [0] * physical
+            stepper = self._compiled.stepper(self._kind, classes, record=True)
+            steps, value, since, terminated = stepper(
+                counts, rng, max_steps, stability_window, one, zero, undef,
+                ring, physical,
+            )
+            trajectory = Trajectory.from_ring(
+                ring, steps, physical, reported_capacity=trajectory_capacity
+            )
+        else:
+            steps, value, since, terminated = self._stepper(
+                counts, rng, max_steps, stability_window, one, zero, undef
+            )
         return SimulationResult(
             initial=initial,
             final=self._compiled.configuration_of(counts),
@@ -198,6 +253,7 @@ class Simulator:
             consensus_step=since if since >= 0 else None,
             terminated=terminated,
             interactions_sampled=steps,
+            trajectory=trajectory,
         )
 
     # ------------------------------------------------------------------
@@ -209,12 +265,31 @@ class Simulator:
         max_steps: int,
         stability_window: int,
         rng: random.Random,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> SimulationResult:
         initial = configuration
         current = configuration
         consensus_value = self._consensus(current)
         consensus_since: Optional[int] = 0 if consensus_value is not None else None
         interactions = 0
+        # Recording: a deque bounded to the ring capacity keeps the *last*
+        # ``trajectory_capacity`` fired indices, matching the compiled engine's
+        # ring-buffer semantics exactly.
+        ring: Optional[deque] = None
+        index_of_transition = None
+        if record_trajectory:
+            ring = deque(maxlen=trajectory_capacity)
+            index_of_transition = {t: i for i, t in enumerate(self.net.transitions)}
+
+        def trajectory() -> Optional[Trajectory]:
+            if ring is None:
+                return None
+            return Trajectory(
+                transition_indices=tuple(ring),
+                total_fired=interactions,
+                capacity=trajectory_capacity,
+            )
 
         for step in range(1, max_steps + 1):
             transition = self.scheduler.choose(self.net, current, rng)
@@ -228,9 +303,12 @@ class Simulator:
                     consensus_step=consensus_since,
                     terminated=True,
                     interactions_sampled=interactions,
+                    trajectory=trajectory(),
                 )
             current = transition.fire(current)
             interactions += 1
+            if ring is not None:
+                ring.append(index_of_transition[transition])
             value = self._consensus(current)
             if value is None or value != consensus_value:
                 consensus_value = value
@@ -248,6 +326,7 @@ class Simulator:
                     consensus_step=consensus_since,
                     terminated=False,
                     interactions_sampled=interactions,
+                    trajectory=trajectory(),
                 )
 
         return SimulationResult(
@@ -258,6 +337,7 @@ class Simulator:
             consensus_step=consensus_since,
             terminated=False,
             interactions_sampled=interactions,
+            trajectory=trajectory(),
         )
 
     def _consensus(self, configuration: Configuration) -> Optional[int]:
@@ -271,39 +351,102 @@ class Simulator:
     # ------------------------------------------------------------------
     # Repeated runs
     # ------------------------------------------------------------------
+    def _run_seeds(
+        self,
+        configuration: Configuration,
+        seeds: List[int],
+        max_steps: int,
+        stability_window: int,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+    ) -> List[SimulationResult]:
+        """Run one repetition per seed from ``configuration``, in seed order.
+
+        The building block of both batch backends (the serial loop here, and
+        each worker's share under ``backend="process"``): on the compiled path
+        the whole sequence reuses a single dense counts buffer instead of
+        reallocating one per repetition.
+        """
+        buffer: Optional[List[int]] = None
+        if self._stepper is not None:
+            buffer = self._compiled.counts_of(configuration)
+        results: List[SimulationResult] = []
+        for seed in seeds:
+            run_rng = random.Random(seed)
+            if buffer is not None:
+                counts = self._compiled.counts_of(configuration, out=buffer)
+                results.append(
+                    self._run_compiled(
+                        configuration, counts, max_steps, stability_window, run_rng,
+                        record_trajectory, trajectory_capacity,
+                    )
+                )
+            else:
+                results.append(
+                    self._dispatch(
+                        configuration, max_steps, stability_window, run_rng,
+                        record_trajectory, trajectory_capacity,
+                    )
+                )
+        return results
+
     def run_many(
         self,
         inputs: Configuration,
         repetitions: int,
         max_steps: int = 100000,
         stability_window: int = 200,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> List[SimulationResult]:
         """Simulate several independent executions from the same input.
 
         Each repetition runs under its own generator seeded from the
         simulator's master generator, so a batch is reproducible from the
         simulator seed while the repetitions stay independent — and the two
-        engines agree run-for-run.  On the compiled path the whole batch
-        reuses a single dense counts buffer instead of reallocating one per
-        repetition.
+        engines agree run-for-run.
+
+        ``backend="serial"`` (default) runs the repetitions in this process,
+        reusing a single dense counts buffer on the compiled path;
+        ``backend="process"`` fans them out over ``max_workers`` worker
+        processes (see :mod:`repro.simulation.batch`).  The per-repetition
+        seeds are drawn from the master generator *before* scheduling, and the
+        results come back in repetition order, so the two backends return
+        bit-identical result lists for the same simulator seed.
         """
-        configuration = self.protocol.initial_configuration(inputs)
-        buffer: Optional[List[int]] = None
-        if self._stepper is not None:
-            buffer = self._compiled.counts_of(configuration)
-        results: List[SimulationResult] = []
-        for _ in range(repetitions):
-            run_rng = random.Random(self.rng.getrandbits(64))
-            if buffer is not None:
-                counts = self._compiled.counts_of(configuration, out=buffer)
-                results.append(
-                    self._run_compiled(configuration, counts, max_steps, stability_window, run_rng)
-                )
-            else:
-                results.append(
-                    self._dispatch(configuration, max_steps, stability_window, run_rng)
-                )
-        return results
+        from .batch import run_ensemble
+
+        if repetitions < 0:
+            raise ValueError(f"repetitions must be non-negative, got {repetitions}")
+        # A failed batch must not advance the master generator — whether the
+        # failure is early validation or a late one (unpicklable payload,
+        # malformed worker-count override) — or a corrected retry would
+        # silently produce a different ensemble than a fresh simulator with
+        # this seed.  Snapshot the stream and restore it on any error.
+        rng_state = self.rng.getstate()
+        seeds = [self.rng.getrandbits(64) for _ in range(repetitions)]
+        try:
+            return run_ensemble(
+                self.protocol,
+                inputs,
+                seeds,
+                scheduler=self.scheduler,
+                engine=self.engine,
+                max_steps=max_steps,
+                stability_window=stability_window,
+                backend=backend,
+                max_workers=max_workers,
+                chunk_size=chunk_size,
+                record_trajectory=record_trajectory,
+                trajectory_capacity=trajectory_capacity,
+                _serial_simulator=self,
+            )
+        except Exception:
+            self.rng.setstate(rng_state)
+            raise
 
 
 def simulate(
@@ -314,7 +457,15 @@ def simulate(
     stability_window: int = 200,
     scheduler: Optional[Scheduler] = None,
     engine: str = "auto",
+    record_trajectory: bool = False,
+    trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     simulator = Simulator(protocol, scheduler=scheduler, seed=seed, engine=engine)
-    return simulator.run(inputs, max_steps=max_steps, stability_window=stability_window)
+    return simulator.run(
+        inputs,
+        max_steps=max_steps,
+        stability_window=stability_window,
+        record_trajectory=record_trajectory,
+        trajectory_capacity=trajectory_capacity,
+    )

@@ -51,7 +51,18 @@ class ConvergenceStatistics:
 
 
 def summarize_runs(results: Sequence[SimulationResult]) -> ConvergenceStatistics:
-    """Aggregate a batch of simulation results into convergence statistics."""
+    """Aggregate a batch of simulation results into convergence statistics.
+
+    Raises :class:`ValueError` on an empty batch: none of the statistics are
+    meaningful over zero runs, and a silent all-``None`` summary (or a bare
+    ``ZeroDivisionError`` from the averages) hides the real problem — usually
+    an ensemble that was never run.
+    """
+    if not results:
+        raise ValueError(
+            "cannot summarize an empty batch of simulation results; "
+            "run at least one repetition"
+        )
     converged = [result for result in results if result.converged]
     step_counts = [result.steps for result in results]
     consensus_steps = [
@@ -60,10 +71,10 @@ def summarize_runs(results: Sequence[SimulationResult]) -> ConvergenceStatistics
     return ConvergenceStatistics(
         runs=len(results),
         converged=len(converged),
-        mean_steps=_stats.fmean(step_counts) if step_counts else None,
-        median_steps=_stats.median(step_counts) if step_counts else None,
-        max_steps=max(step_counts) if step_counts else None,
-        min_steps=min(step_counts) if step_counts else None,
+        mean_steps=_stats.fmean(step_counts),
+        median_steps=_stats.median(step_counts),
+        max_steps=max(step_counts),
+        min_steps=min(step_counts),
         mean_consensus_step=_stats.fmean(consensus_steps) if consensus_steps else None,
     )
 

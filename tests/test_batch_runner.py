@@ -1,0 +1,366 @@
+"""Tests for the parallel batch-execution subsystem (repro.simulation.batch).
+
+The contract under test: for a fixed ``(protocol, inputs, seed)`` the serial
+and process backends return **bit-identical** result lists — same
+per-repetition seeds, same per-run results, same order — regardless of worker
+count or chunking.  Plus the supporting machinery: worker-count and
+chunk-size edge cases, pickling of protocols and compiled nets across process
+boundaries, and trajectory transport through workers.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import Configuration, from_counts
+from repro.protocols import flock_of_birds_protocol, majority_protocol
+from repro.simulation import (
+    BatchRunner,
+    Scheduler,
+    Simulator,
+    TransitionScheduler,
+    UniformScheduler,
+    run_ensemble,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _majority_inputs(population=48):
+    majority = (2 * population) // 3
+    return from_counts(A=majority, B=population - majority)
+
+
+class TestSerialProcessEquivalence:
+    def test_64_repetition_majority_ensemble_is_bit_identical(self):
+        # The acceptance-criterion ensemble: 64 seeded majority repetitions,
+        # serial vs process, compared as full SimulationResult values.
+        protocol = majority_protocol()
+        inputs = _majority_inputs()
+        serial = Simulator(protocol, seed=2022).run_many(
+            inputs, repetitions=64, max_steps=2000
+        )
+        parallel = Simulator(protocol, seed=2022).run_many(
+            inputs, repetitions=64, max_steps=2000, backend="process", max_workers=2
+        )
+        assert len(serial) == len(parallel) == 64
+        assert parallel == serial
+
+    def test_batch_runner_agrees_with_simulator_run_many(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(30)
+        via_simulator = Simulator(protocol, seed=9).run_many(
+            inputs, repetitions=10, max_steps=1500
+        )
+        via_runner = BatchRunner(protocol, max_workers=2).run_many(
+            inputs, repetitions=10, seed=9, max_steps=1500
+        )
+        assert via_runner == via_simulator
+
+    def test_chunk_size_does_not_change_results(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        baseline = BatchRunner(protocol, backend="serial").run_many(
+            inputs, repetitions=9, seed=3, max_steps=1000
+        )
+        for chunk_size in (1, 2, 4, 9, 50):
+            runner = BatchRunner(
+                protocol, backend="process", max_workers=2, chunk_size=chunk_size
+            )
+            assert runner.run_many(inputs, repetitions=9, seed=3, max_steps=1000) == baseline
+
+    def test_reference_engine_ensembles_agree_across_backends(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(18)
+        serial = Simulator(protocol, seed=4, engine="reference").run_many(
+            inputs, repetitions=6, max_steps=800
+        )
+        parallel = Simulator(protocol, seed=4, engine="reference").run_many(
+            inputs, repetitions=6, max_steps=800, backend="process", max_workers=2
+        )
+        assert parallel == serial
+
+    def test_transition_scheduler_ensembles_agree_across_backends(self):
+        protocol = flock_of_birds_protocol(4)
+        inputs = Configuration({1: 9})
+        serial = Simulator(protocol, scheduler=TransitionScheduler(), seed=8).run_many(
+            inputs, repetitions=6, max_steps=800
+        )
+        parallel = Simulator(protocol, scheduler=TransitionScheduler(), seed=8).run_many(
+            inputs, repetitions=6, max_steps=800, backend="process", max_workers=2
+        )
+        assert parallel == serial
+
+    def test_trajectories_travel_across_the_process_boundary(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(20)
+        kwargs = dict(
+            repetitions=5, max_steps=300, stability_window=10 ** 9,
+            record_trajectory=True, trajectory_capacity=64,
+        )
+        serial = Simulator(protocol, seed=5).run_many(inputs, **kwargs)
+        parallel = Simulator(protocol, seed=5).run_many(
+            inputs, backend="process", max_workers=2, **kwargs
+        )
+        assert parallel == serial
+        assert all(result.trajectory is not None for result in parallel)
+        assert any(result.trajectory.dropped > 0 for result in parallel)
+
+    def test_spawn_start_method_round_trips_everything_through_pickle(self):
+        # Under "spawn" nothing is fork-inherited: protocol, configuration and
+        # results all cross the boundary as pickles in a fresh interpreter.
+        protocol = majority_protocol()
+        inputs = _majority_inputs(15)
+        seeds = [11, 22, 33]
+        serial = run_ensemble(protocol, inputs, seeds, max_steps=400)
+        spawned = run_ensemble(
+            protocol, inputs, seeds, max_steps=400,
+            backend="process", max_workers=2, start_method="spawn",
+        )
+        assert spawned == serial
+
+
+class TestWorkerCountEdgeCases:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            BatchRunner(majority_protocol(), max_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            run_ensemble(
+                majority_protocol(), _majority_inputs(9), [1],
+                backend="process", max_workers=0,
+            )
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            BatchRunner(majority_protocol(), max_workers=-2)
+
+    def test_single_worker_matches_serial(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(21)
+        serial = BatchRunner(protocol, backend="serial").run_many(
+            inputs, repetitions=5, seed=1, max_steps=600
+        )
+        single = BatchRunner(protocol, backend="process", max_workers=1).run_many(
+            inputs, repetitions=5, seed=1, max_steps=600
+        )
+        assert single == serial
+
+    def test_more_workers_than_repetitions(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(21)
+        serial = BatchRunner(protocol, backend="serial").run_many(
+            inputs, repetitions=3, seed=2, max_steps=600
+        )
+        oversubscribed = BatchRunner(protocol, backend="process", max_workers=16).run_many(
+            inputs, repetitions=3, seed=2, max_steps=600
+        )
+        assert oversubscribed == serial
+
+    def test_zero_repetitions_returns_empty_list(self):
+        runner = BatchRunner(majority_protocol(), backend="process", max_workers=2)
+        assert runner.run_many(_majority_inputs(9), repetitions=0, seed=0) == []
+
+    def test_negative_repetitions_rejected(self):
+        runner = BatchRunner(majority_protocol())
+        with pytest.raises(ValueError, match="repetitions"):
+            runner.run_many(_majority_inputs(9), repetitions=-1, seed=0)
+        with pytest.raises(ValueError, match="repetitions"):
+            Simulator(majority_protocol(), seed=0).run_many(
+                _majority_inputs(9), repetitions=-1
+            )
+
+    def test_incompatible_scheduler_engine_rejected_before_spawning(self):
+        # Regression: a Simulator constructor error inside the pool
+        # initializer crashes every worker and multiprocessing respawns them
+        # forever; the combination must be validated in the parent instead.
+        class Custom(Scheduler):
+            def choose(self, net, configuration, rng):
+                return None
+
+        with pytest.raises(ValueError, match="no compiled fast path"):
+            run_ensemble(
+                majority_protocol(), _majority_inputs(9), [1, 2],
+                scheduler=Custom(), engine="compiled",
+                backend="process", max_workers=2,
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            BatchRunner(majority_protocol(), backend="threads")
+        with pytest.raises(ValueError, match="unknown backend"):
+            Simulator(majority_protocol(), seed=0).run_many(
+                _majority_inputs(9), repetitions=2, backend="threads"
+            )
+
+    def test_zero_chunk_size_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            BatchRunner(majority_protocol(), chunk_size=0)
+
+    def test_invalid_trajectory_capacity_rejected_before_fanout(self):
+        # Regression: the batched compiled path enters the engines below
+        # _dispatch's validation; a bad capacity must fail at the call site
+        # with ValueError, not as an IndexError from inside a pool worker.
+        for backend in ("serial", "process"):
+            with pytest.raises(ValueError, match="trajectory_capacity"):
+                Simulator(majority_protocol(), seed=0).run_many(
+                    _majority_inputs(9), repetitions=2, backend=backend,
+                    max_workers=2 if backend == "process" else None,
+                    record_trajectory=True, trajectory_capacity=0,
+                )
+
+    def test_malformed_worker_env_override_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_DEFAULT_WORKERS", "two")
+        with pytest.raises(ValueError, match="REPRO_BATCH_DEFAULT_WORKERS"):
+            run_ensemble(
+                majority_protocol(), _majority_inputs(9), [1, 2], backend="process"
+            )
+
+    def test_default_worker_count_honors_env_override(self, monkeypatch):
+        # Without an explicit max_workers the env override supplies the
+        # default — the knob the CI batch-smoke job pins to 2 — and the
+        # results must still be bit-identical to serial.
+        monkeypatch.setenv("REPRO_BATCH_DEFAULT_WORKERS", "2")
+        protocol = majority_protocol()
+        inputs = _majority_inputs(18)
+        seeds = [41, 42, 43, 44]
+        serial = run_ensemble(protocol, inputs, seeds, max_steps=500)
+        parallel = run_ensemble(protocol, inputs, seeds, max_steps=500, backend="process")
+        assert parallel == serial
+
+
+class TestReproducibility:
+    def test_batch_runner_reproducible_from_master_seed(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        runner = BatchRunner(protocol, max_workers=2)
+        first = runner.run_many(inputs, repetitions=6, seed=14, max_steps=800)
+        second = runner.run_many(inputs, repetitions=6, seed=14, max_steps=800)
+        assert first == second
+
+    def test_explicit_seed_lists_are_index_aligned(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        runner = BatchRunner(protocol, max_workers=2, chunk_size=2)
+        seeds = [5, 6, 7, 8, 9]
+        results = runner.run_seeds(inputs, seeds, max_steps=800)
+        # Each repetition must equal a standalone run of its own seed.
+        for seed, result in zip(seeds, results):
+            solo = run_ensemble(protocol, inputs, [seed], max_steps=800)
+            assert [result] == solo
+
+    def test_rejected_run_many_does_not_consume_the_master_stream(self):
+        # Regression: a call rejected by argument validation must not advance
+        # the master generator, or a corrected retry would return a different
+        # ensemble than a fresh simulator seeded the same way.
+        protocol = majority_protocol()
+        inputs = _majority_inputs(15)
+        simulator = Simulator(protocol, seed=42)
+        with pytest.raises(ValueError, match="unknown backend"):
+            simulator.run_many(inputs, repetitions=4, backend="thread")
+        with pytest.raises(ValueError, match="max_workers"):
+            simulator.run_many(inputs, repetitions=4, backend="process", max_workers=0)
+        with pytest.raises(ValueError, match="trajectory_capacity"):
+            simulator.run_many(
+                inputs, repetitions=4, record_trajectory=True, trajectory_capacity=0
+            )
+        retried = simulator.run_many(inputs, repetitions=4, max_steps=500)
+        fresh = Simulator(protocol, seed=42).run_many(inputs, repetitions=4, max_steps=500)
+        assert retried == fresh
+
+    def test_late_process_rejection_does_not_consume_the_master_stream(self):
+        # Failures raised deep inside run_ensemble (here: an unpicklable
+        # scheduler detected only at spec-pickling time) must also leave the
+        # master generator untouched.
+        class Unpicklable(UniformScheduler):
+            def __init__(self):
+                self.hook = lambda: None
+
+        protocol = majority_protocol()
+        inputs = _majority_inputs(15)
+        simulator = Simulator(protocol, scheduler=Unpicklable(), seed=42)
+        with pytest.raises(ValueError, match="picklable"):
+            simulator.run_many(inputs, repetitions=4, backend="process", max_workers=2)
+        retried = simulator.run_many(inputs, repetitions=4, max_steps=500)
+        fresh = Simulator(protocol, scheduler=Unpicklable(), seed=42).run_many(
+            inputs, repetitions=4, max_steps=500
+        )
+        assert retried == fresh
+
+    def test_run_many_consumes_master_stream_like_the_serial_path(self):
+        # Two successive batches from one simulator must not depend on the
+        # backend: the master generator advances once per repetition.
+        protocol = majority_protocol()
+        inputs = _majority_inputs(18)
+        serial_sim = Simulator(protocol, seed=77)
+        serial = serial_sim.run_many(inputs, 3, max_steps=500) + serial_sim.run_many(
+            inputs, 3, max_steps=500
+        )
+        parallel_sim = Simulator(protocol, seed=77)
+        parallel = parallel_sim.run_many(
+            inputs, 3, max_steps=500, backend="process", max_workers=2
+        ) + parallel_sim.run_many(inputs, 3, max_steps=500, backend="process", max_workers=2)
+        assert parallel == serial
+
+
+class TestPickling:
+    def test_compiled_net_round_trips_without_steppers(self):
+        protocol = majority_protocol()
+        compiled = protocol.petri_net.compiled(extra_states=protocol.states)
+        classes = compiled.output_classes(protocol.output_table)
+        compiled.stepper("uniform", classes)
+        compiled.stepper("uniform", classes, record=True)
+
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone._steppers == {}
+        assert clone.states == compiled.states
+        assert clone.pre_lists == compiled.pre_lists
+        assert clone.delta_lists == compiled.delta_lists
+        assert clone.affected == compiled.affected
+
+    def test_unpickled_compiled_net_regenerates_equivalent_steppers(self):
+        protocol = majority_protocol()
+        compiled = protocol.petri_net.compiled(extra_states=protocol.states)
+        classes = compiled.output_classes(protocol.output_table)
+        original = compiled.stepper("uniform", classes)
+        clone = pickle.loads(pickle.dumps(compiled))
+        regenerated = clone.stepper("uniform", classes)
+        assert regenerated.__source__ == original.__source__
+
+    def test_protocol_with_populated_compile_cache_pickles(self):
+        protocol = majority_protocol()
+        Simulator(protocol, seed=0, engine="compiled")  # populates the cache
+        clone = pickle.loads(pickle.dumps(protocol))
+        inputs = _majority_inputs(12)
+        original_run = Simulator(protocol, seed=3, engine="compiled").run(
+            inputs, max_steps=500
+        )
+        clone_run = Simulator(clone, seed=3, engine="compiled").run(inputs, max_steps=500)
+        assert clone_run.final == original_run.final
+        assert clone_run.steps == original_run.steps
+
+    def test_unpicklable_scheduler_raises_a_clear_error(self):
+        class Closure(Scheduler):
+            def __init__(self):
+                self.hook = lambda: None  # lambdas cannot be pickled
+
+            def choose(self, net, configuration, rng):
+                return None
+
+        with pytest.raises(ValueError, match="picklable"):
+            run_ensemble(
+                majority_protocol(), _majority_inputs(9), [1, 2],
+                scheduler=Closure(), backend="process", max_workers=2,
+            )
+
+    def test_batch_runner_rejects_unpicklable_scheduler_at_construction(self):
+        class Closure(Scheduler):
+            def __init__(self):
+                self.hook = lambda: None
+
+            def choose(self, net, configuration, rng):
+                return None
+
+        with pytest.raises(ValueError, match="picklable"):
+            BatchRunner(majority_protocol(), scheduler=Closure(), backend="process")
+        # The serial backend never pickles, so the same scheduler is fine there.
+        BatchRunner(majority_protocol(), scheduler=Closure(), backend="serial")

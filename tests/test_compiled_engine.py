@@ -6,14 +6,18 @@ The compiled engine (dense counts array + generated stepper) must produce
 same consensus value and consensus step, same termination flag.  These tests
 assert that across the majority, modulo and flock-of-birds protocols (plus a
 leader-based succinct protocol and a non-conservative net), for full runs,
-truncated prefixes of runs, both built-in schedulers, and batched runs.
+truncated prefixes of runs, both built-in schedulers, and batched runs — and
+across a seeded property-style sweep of random small nets (random pre/post
+multisets) that goes beyond the named protocols.
 """
+
+import random
 
 import pytest
 
 from repro.core import Configuration, Protocol, Transition, from_counts
 from repro.core.petrinet import PetriNet
-from repro.core.protocol import OUTPUT_ONE, OUTPUT_ZERO
+from repro.core.protocol import OUTPUT_ONE, OUTPUT_UNDEFINED, OUTPUT_ZERO
 from repro.protocols import (
     flock_of_birds_protocol,
     majority_protocol,
@@ -282,6 +286,100 @@ class TestCompiledNet:
         compiled = majority_protocol().petri_net.compiled()
         with pytest.raises(ValueError, match="unknown compiled scheduler kind"):
             compiled.stepper("fifo", compiled.output_classes({}))
+
+
+def _random_multiset(rng, states, min_size, max_size):
+    """A random configuration over ``states`` with ``min_size..max_size`` agents."""
+    size = rng.randint(min_size, max_size)
+    counts = {}
+    for _ in range(size):
+        state = rng.choice(states)
+        counts[state] = counts.get(state, 0) + 1
+    return Configuration(counts)
+
+
+def _random_protocol(rng):
+    """A random small Petri-net protocol: arbitrary pre/post multisets,
+    possibly non-conservative, possibly with '*'-output states."""
+    states = [f"s{i}" for i in range(rng.randint(2, 4))]
+    transitions = []
+    for t in range(rng.randint(1, 5)):
+        pre = _random_multiset(rng, states, 1, 2)
+        post = _random_multiset(rng, states, 0, 3)
+        transitions.append(Transition(pre, post, name=f"t{t}"))
+    net = PetriNet(transitions, states=states, name="random")
+    outputs = [OUTPUT_ZERO, OUTPUT_ONE]
+    if rng.random() < 0.4:
+        outputs.append(OUTPUT_UNDEFINED)
+    output = {state: rng.choice(outputs) for state in states}
+    protocol = Protocol.from_petri_net(
+        net,
+        leaders=Configuration({}),
+        initial_states=states,
+        output=output,
+        name="random",
+    )
+    inputs = _random_multiset(rng, states, 2, 8)
+    return protocol, inputs
+
+
+class TestRandomNetEquivalence:
+    """Seeded property-style sweep: the engines must agree step for step on
+    arbitrary small nets, not just on the five named protocols.  Each case is
+    a random net (random pre/post multisets, so non-conservative spawning and
+    dying transitions and '*'-output states all occur) checked across both
+    schedulers with trajectories recorded, so any divergence pinpoints the
+    first differing firing rather than just the final configuration.
+    """
+
+    @pytest.mark.parametrize("case", range(25))
+    def test_random_small_nets_match_step_for_step(self, case):
+        rng = random.Random(6000 + case)
+        protocol, inputs = _random_protocol(rng)
+        for seed in (0, 1):
+            reference = Simulator(protocol, engine="reference", seed=seed).run(
+                inputs,
+                max_steps=300,
+                stability_window=50,
+                record_trajectory=True,
+                trajectory_capacity=10 ** 6,
+            )
+            fast = Simulator(protocol, engine="compiled", seed=seed).run(
+                inputs,
+                max_steps=300,
+                stability_window=50,
+                record_trajectory=True,
+                trajectory_capacity=10 ** 6,
+            )
+            assert_same_result(fast, reference)
+            assert fast.trajectory == reference.trajectory
+
+    @pytest.mark.parametrize("case", range(10))
+    def test_random_small_nets_match_under_the_transition_scheduler(self, case):
+        rng = random.Random(7000 + case)
+        protocol, inputs = _random_protocol(rng)
+        scheduler = TransitionScheduler()
+        reference = Simulator(
+            protocol, scheduler=scheduler, engine="reference", seed=3
+        ).run(inputs, max_steps=200, stability_window=50)
+        fast = Simulator(protocol, scheduler=scheduler, engine="compiled", seed=3).run(
+            inputs, max_steps=200, stability_window=50
+        )
+        assert_same_result(fast, reference)
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_random_net_batches_match_across_backends(self, case):
+        rng = random.Random(8000 + case)
+        protocol, inputs = _random_protocol(rng)
+        serial = Simulator(protocol, seed=case).run_many(
+            inputs, repetitions=4, max_steps=150, stability_window=50
+        )
+        parallel = Simulator(protocol, seed=case).run_many(
+            inputs, repetitions=4, max_steps=150, stability_window=50,
+            backend="process", max_workers=2,
+        )
+        for fast_result, reference_result in zip(parallel, serial):
+            assert_same_result(fast_result, reference_result)
 
 
 class TestBatchedRuns:

@@ -13,6 +13,7 @@ from repro.experiments import (
     experiment_e7_cycles,
     experiment_e8_verification,
     experiment_e9_simulation_throughput,
+    experiment_e10_parallel_batch,
     registry,
 )
 
@@ -50,7 +51,9 @@ class TestHarness:
         assert "a note" in text
 
     def test_registry_contains_all_experiments(self):
-        assert set(registry.ids()) == {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+        assert set(registry.ids()) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+        }
 
     def test_registry_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -168,3 +171,22 @@ class TestExperimentE9:
         assert all(row["interactions/s"] > 0 for row in table.rows)
         assert by_engine["reference"]["speedup"] == 1.0
         assert by_engine["compiled"]["speedup"] > 0
+
+
+class TestExperimentE10:
+    def test_backends_agree_and_rows_are_complete(self):
+        table = experiment_e10_parallel_batch(
+            population=60, repetitions=6, worker_counts=(1, 2), max_steps=800
+        )
+        # One serial row plus one row per worker count; the experiment raises
+        # if any parallel ensemble diverges from the serial one.
+        assert len(table) == 3
+        by_backend = {}
+        for row in table.rows:
+            by_backend.setdefault(row["backend"], []).append(row)
+        assert set(by_backend) == {"serial", "process"}
+        assert [row["workers"] for row in by_backend["process"]] == [1, 2]
+        interactions = {row["interactions"] for row in table.rows}
+        assert len(interactions) == 1  # identical ensembles everywhere
+        assert all(row["interactions/s"] > 0 for row in table.rows)
+        assert by_backend["serial"][0]["speedup"] == 1.0

@@ -151,11 +151,21 @@ class TestStatistics:
         assert stats.mean_steps is not None and stats.mean_steps > 0
         assert stats.min_steps <= stats.median_steps <= stats.max_steps
 
-    def test_summary_of_empty_batch(self):
-        stats = summarize_runs([])
-        assert stats.runs == 0
-        assert stats.convergence_rate == 0.0
-        assert stats.mean_steps is None
+    def test_summary_of_empty_batch_raises_value_error(self):
+        # Regression: this used to silently return an all-None summary, and a
+        # naive implementation would raise ZeroDivisionError from the mean.
+        # An empty ensemble is a caller bug and must fail loudly and clearly.
+        with pytest.raises(ValueError, match="empty batch"):
+            summarize_runs([])
+
+    def test_summary_of_single_run_batch(self):
+        protocol = majority_protocol()
+        results = Simulator(protocol, seed=1).run_many(
+            from_counts(A=4, B=2), repetitions=1, max_steps=10000
+        )
+        stats = summarize_runs(results)
+        assert stats.runs == 1
+        assert stats.mean_steps == stats.median_steps == stats.max_steps == stats.min_steps
 
     def test_accuracy_against_predicate(self):
         protocol = majority_protocol()

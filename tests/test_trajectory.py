@@ -1,0 +1,184 @@
+"""Tests for opt-in trajectory recording (repro.simulation.trajectory).
+
+Covers the ring-buffer truncation semantics (the recorded indices are the
+*last* ``capacity`` firings, with the overwritten prefix counted), replay of
+complete trajectories to the run's final configuration on both engines, and
+the engines agreeing on the recorded paths index for index.
+"""
+
+import pytest
+
+from repro.core import Configuration, from_counts
+from repro.protocols import flock_of_birds_protocol, majority_protocol
+from repro.simulation import Simulator, Trajectory, TransitionScheduler
+
+ENGINES = ("compiled", "reference")
+
+
+def _record(protocol, inputs, engine, capacity, seed=7, max_steps=500, **kwargs):
+    result = Simulator(protocol, seed=seed, engine=engine).run(
+        inputs,
+        max_steps=max_steps,
+        stability_window=10 ** 9,
+        record_trajectory=True,
+        trajectory_capacity=capacity,
+        **kwargs,
+    )
+    return result
+
+
+class TestRingBufferSemantics:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_truncation_keeps_the_last_capacity_firings(self, engine):
+        protocol = majority_protocol()
+        inputs = from_counts(A=20, B=12)
+        full = _record(protocol, inputs, engine, capacity=10 ** 6)
+        truncated = _record(protocol, inputs, engine, capacity=32)
+        assert full.trajectory.is_complete
+        assert not truncated.trajectory.is_complete
+        assert truncated.trajectory.total_fired == full.trajectory.total_fired
+        assert truncated.trajectory.transition_indices == (
+            full.trajectory.transition_indices[-32:]
+        )
+        assert truncated.trajectory.dropped == full.trajectory.total_fired - 32
+        assert len(truncated.trajectory) == 32
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exact_capacity_is_complete(self, engine):
+        protocol = majority_protocol()
+        inputs = from_counts(A=20, B=12)
+        full = _record(protocol, inputs, engine, capacity=10 ** 6, max_steps=200)
+        fired = full.trajectory.total_fired
+        exact = _record(protocol, inputs, engine, capacity=fired, max_steps=200)
+        assert exact.trajectory.is_complete
+        assert exact.trajectory.transition_indices == full.trajectory.transition_indices
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_capacity_one_keeps_only_the_last_firing(self, engine):
+        protocol = majority_protocol()
+        inputs = from_counts(A=20, B=12)
+        full = _record(protocol, inputs, engine, capacity=10 ** 6, max_steps=100)
+        tiny = _record(protocol, inputs, engine, capacity=1, max_steps=100)
+        assert tiny.trajectory.transition_indices == (
+            full.trajectory.transition_indices[-1],
+        )
+        assert tiny.trajectory.dropped == full.trajectory.total_fired - 1
+
+    def test_invalid_capacity_rejected(self):
+        protocol = majority_protocol()
+        simulator = Simulator(protocol, seed=0)
+        with pytest.raises(ValueError, match="trajectory_capacity"):
+            simulator.run(from_counts(A=3, B=1), record_trajectory=True, trajectory_capacity=0)
+
+    def test_terminal_run_records_an_empty_trajectory(self):
+        # A single below-threshold agent never interacts.
+        protocol = flock_of_birds_protocol(3)
+        for engine in ENGINES:
+            result = _record(protocol, Configuration({1: 1}), engine, capacity=16)
+            assert result.terminated
+            assert result.trajectory is not None
+            assert result.trajectory.total_fired == 0
+            assert len(result.trajectory) == 0
+            assert result.trajectory.is_complete
+
+    def test_not_recording_leaves_trajectory_none(self):
+        result = Simulator(majority_protocol(), seed=0).run(
+            from_counts(A=5, B=2), max_steps=200
+        )
+        assert result.trajectory is None
+
+
+class TestReplay:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_complete_trajectory_replays_to_the_final_configuration(self, engine):
+        protocol = majority_protocol()
+        inputs = from_counts(A=18, B=11)
+        result = _record(protocol, inputs, engine, capacity=10 ** 6)
+        trajectory = result.trajectory
+        assert trajectory.is_complete
+        assert len(trajectory) == result.interactions_sampled
+        replayed = trajectory.replay(protocol.petri_net, result.initial)
+        assert replayed == result.final
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_transition_scheduler_trajectories_replay_too(self, engine):
+        protocol = flock_of_birds_protocol(4)
+        inputs = Configuration({1: 9})
+        result = Simulator(
+            protocol, seed=11, engine=engine, scheduler=TransitionScheduler()
+        ).run(
+            inputs,
+            max_steps=300,
+            stability_window=10 ** 9,
+            record_trajectory=True,
+            trajectory_capacity=10 ** 6,
+        )
+        replayed = result.trajectory.replay(protocol.petri_net, result.initial)
+        assert replayed == result.final
+
+    def test_truncated_trajectory_refuses_to_replay(self):
+        protocol = majority_protocol()
+        result = _record(protocol, from_counts(A=20, B=12), "compiled", capacity=8)
+        assert not result.trajectory.is_complete
+        with pytest.raises(ValueError, match="truncated"):
+            result.trajectory.replay(protocol.petri_net, result.initial)
+
+    def test_transitions_resolve_against_net_order(self):
+        protocol = majority_protocol()
+        net = protocol.petri_net
+        result = _record(protocol, from_counts(A=8, B=5), "compiled", capacity=10 ** 6)
+        resolved = result.trajectory.transitions(net)
+        assert len(resolved) == len(result.trajectory)
+        for index, transition in zip(result.trajectory, resolved):
+            assert net.transitions[index] is transition
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", [0, 3, 19])
+    def test_engines_record_identical_paths(self, seed):
+        protocol = majority_protocol()
+        inputs = from_counts(A=17, B=9)
+        compiled = _record(protocol, inputs, "compiled", capacity=10 ** 6, seed=seed)
+        reference = _record(protocol, inputs, "reference", capacity=10 ** 6, seed=seed)
+        assert compiled.trajectory == reference.trajectory
+        assert compiled.final == reference.final
+
+    def test_engines_agree_on_truncated_paths(self):
+        protocol = majority_protocol()
+        inputs = from_counts(A=17, B=9)
+        compiled = _record(protocol, inputs, "compiled", capacity=25, seed=5)
+        reference = _record(protocol, inputs, "reference", capacity=25, seed=5)
+        assert compiled.trajectory == reference.trajectory
+
+    def test_recording_does_not_perturb_the_run(self):
+        # The recording stepper must consume the random stream exactly like
+        # the plain one: same seed with and without recording, same result.
+        protocol = majority_protocol()
+        inputs = from_counts(A=17, B=9)
+        plain = Simulator(protocol, seed=13).run(inputs, max_steps=400)
+        recorded = Simulator(protocol, seed=13).run(
+            inputs, max_steps=400, record_trajectory=True
+        )
+        assert recorded.final == plain.final
+        assert recorded.steps == plain.steps
+        assert recorded.consensus == plain.consensus
+        assert recorded.consensus_step == plain.consensus_step
+
+
+class TestDecoding:
+    def test_from_ring_without_wraparound(self):
+        trajectory = Trajectory.from_ring([4, 2, 7, 0, 0], total_fired=3, capacity=5)
+        assert trajectory.transition_indices == (4, 2, 7)
+        assert trajectory.dropped == 0
+
+    def test_from_ring_with_wraparound(self):
+        # 7 writes into a 5-slot ring: values 2..6 survive, oldest at 7 % 5 = 2.
+        ring = [5, 6, 2, 3, 4]
+        trajectory = Trajectory.from_ring(ring, total_fired=7, capacity=5)
+        assert trajectory.transition_indices == (2, 3, 4, 5, 6)
+        assert trajectory.dropped == 2
+
+    def test_from_ring_exactly_full(self):
+        trajectory = Trajectory.from_ring([1, 2, 3], total_fired=3, capacity=3)
+        assert trajectory.transition_indices == (1, 2, 3)
+        assert trajectory.is_complete
