@@ -1,0 +1,140 @@
+"""Benchmark E11 — large-net throughput of the NumPy engine + pool amortization.
+
+Two claims are measured, and their data points are written to
+``BENCH_e11.json`` at the repository root so the performance trajectory of
+the engines is recorded across PRs:
+
+1. **Large nets** (:func:`experiment_e11_large_net_throughput`): on random
+   width-2 nets swept over the transition count, the NumPy engine's
+   steady-state throughput overtakes the compiled engine's around the
+   ``engine="auto"`` threshold and is at least 3x faster on multi-thousand-
+   transition nets — where the compiled engine also pays seconds of codegen
+   per (net, process) that the NumPy engine does not pay at all, and beyond
+   ~2500 transitions stops working entirely (the generated dispatch chain
+   overflows the CPython compiler).  The experiment cross-checks the
+   engines' final configurations, step counts and consensus values, so the
+   benchmark doubles as an equivalence check (exact step-for-step trajectory
+   equality is the test suite's job).
+
+2. **Persistent pools**: a :class:`~repro.simulation.batch.BatchRunner`
+   builds its worker pool once; a second ``run_many`` on the same runner
+   skips pool startup, protocol unpickling and per-worker stepper
+   compilation, and must be at least 1.5x faster than the build-per-call
+   behavior (a fresh runner per ensemble, which is what every call paid
+   before the persistent lifecycle existed) — while remaining bit-identical
+   to both the fresh-pool and the serial ensembles.
+
+Requires NumPy (the ``sim`` extra); both tests are skipped without it.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy", reason="benchmark E11 measures the NumPy engine")
+
+from conftest import report
+
+from repro.experiments import (
+    experiment_e11_large_net_throughput,
+    random_interaction_protocol,
+)
+from repro.simulation import BatchRunner
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e11.json"
+
+
+def _update_artifact(key, payload):
+    """Merge one section into BENCH_e11.json (both tests write to it)."""
+    data = {}
+    if ARTIFACT_PATH.exists():
+        try:
+            data = json.loads(ARTIFACT_PATH.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data[key] = payload
+    ARTIFACT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_e11_large_net_throughput(benchmark):
+    table = benchmark.pedantic(
+        experiment_e11_large_net_throughput, rounds=1, iterations=1
+    )
+    rows = {(row["transitions"], row["engine"]): row for row in table.rows}
+
+    # Crossover: the compiled engine still wins steady-state on tiny nets...
+    assert rows[(50, "numpy")]["speedup"] < 1.0
+    # ...the NumPy engine wins on a 1000-transition net...
+    assert rows[(1000, "numpy")]["speedup"] > 1.0
+    # ...and including the codegen the compiled engine pays per (net,
+    # process), the NumPy engine is >= 3x faster already at 1000 transitions.
+    assert rows[(1000, "numpy")]["e2e speedup"] >= 3.0
+    # Headline: >= 3x steady-state on a multi-thousand-transition net.
+    big_speedups = [
+        row["speedup"]
+        for (transitions, engine), row in rows.items()
+        if engine == "numpy" and transitions >= 1000 and row["speedup"] is not None
+    ]
+    assert max(big_speedups) >= 3.0
+    # At 5000 transitions the compiled engine cannot even be built (CPython
+    # recursion guard) while the NumPy engine keeps simulating.
+    assert rows[(5000, "compiled")]["interactions"] is None
+    assert rows[(5000, "numpy")]["interactions"] > 0
+
+    _update_artifact(
+        "large_net_throughput",
+        {"title": table.title, "notes": table.notes, "rows": table.rows},
+    )
+    report(table)
+
+
+def test_bench_e11_persistent_pool():
+    # A moderately sized random net: per-worker initialization (protocol
+    # unpickling + stepper codegen) is a real cost, which is exactly what the
+    # persistent pool amortizes.  240 transitions sits under the auto
+    # threshold, so workers pay the compiled engine's codegen.
+    protocol, inputs = random_interaction_protocol(240, random.Random(5))
+    repetitions, seed, max_steps = 64, 2022, 400
+    kwargs = dict(seed=seed, max_steps=max_steps, stability_window=max_steps)
+
+    serial_runner = BatchRunner(protocol, backend="serial")
+    serial = serial_runner.run_many(inputs, repetitions, **kwargs)
+    serial_runner.close()
+
+    with BatchRunner(protocol, max_workers=2) as runner:
+        first = runner.run_many(inputs, repetitions, **kwargs)
+        start = time.perf_counter()
+        second = runner.run_many(inputs, repetitions, **kwargs)
+        warm_elapsed = time.perf_counter() - start
+
+    # Build-per-call: what every ensemble paid before the persistent pool.
+    start = time.perf_counter()
+    fresh_runner = BatchRunner(protocol, max_workers=2)
+    fresh = fresh_runner.run_many(inputs, repetitions, **kwargs)
+    cold_elapsed = time.perf_counter() - start
+    fresh_runner.close()
+
+    # Pool reuse must not change results: persistent-pool, fresh-pool and
+    # serial ensembles are bit-identical.
+    assert first == second == fresh == serial
+
+    speedup = cold_elapsed / warm_elapsed
+    _update_artifact(
+        "persistent_pool",
+        {
+            "protocol_transitions": protocol.petri_net.num_transitions,
+            "repetitions": repetitions,
+            "max_steps": max_steps,
+            "warm_seconds": warm_elapsed,
+            "cold_seconds": cold_elapsed,
+            "speedup": speedup,
+        },
+    )
+    print(
+        f"\npersistent pool: warm {warm_elapsed * 1000:.1f} ms vs "
+        f"build-per-call {cold_elapsed * 1000:.1f} ms ({speedup:.2f}x)"
+    )
+    assert speedup >= 1.5

@@ -40,8 +40,12 @@ def main() -> None:
     print()
 
     # 3. Simulation on a larger population (20 agents) with a fixed seed, on
-    #    the compiled dense-array engine (the sparse reference engine is
-    #    available via engine="reference" and yields the same trajectories).
+    #    the compiled dense-array engine.  Three engines share bit-identical
+    #    semantics: engine="reference" (sparse baseline), engine="compiled"
+    #    (generated steppers, best for small nets like this one), and
+    #    engine="numpy" (vectorized kernels, best beyond a few hundred
+    #    transitions; needs the 'sim' extra).  engine="auto" — the default —
+    #    picks by transition count.
     simulator = Simulator(protocol, seed=2022, engine="compiled")
     inputs = protocol.counting_input(20)
     results = simulator.run_many(inputs, repetitions=10, max_steps=50000)

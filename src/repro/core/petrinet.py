@@ -40,6 +40,7 @@ from .transition import Transition
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..simulation.compiled import CompiledNet
+    from ..simulation.vectorized import VectorizedNet
 
 __all__ = ["PetriNet", "ReachabilityGraph", "ExplorationLimitError"]
 
@@ -128,6 +129,7 @@ class PetriNet:
         self._states: FrozenSet[State] = frozenset(universe)
         self.name = name
         self._compiled_cache: Dict[FrozenSet[State], "CompiledNet"] = {}
+        self._vectorized_cache: Dict[FrozenSet[State], "VectorizedNet"] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors and measures
@@ -184,11 +186,15 @@ class PetriNet:
         return f"{label}(|P|={self.num_states}, |T|={self.num_transitions}, width={self.width})"
 
     def __getstate__(self) -> Dict[str, object]:
-        """Drop the compiled-net cache: it holds ``exec``-generated stepper
-        functions that cannot be pickled.  Unpickled nets (e.g. in batch
-        worker processes) recompile on first simulation and re-cache locally."""
+        """Drop the compiled/vectorized-net caches: the compiled cache holds
+        ``exec``-generated stepper functions that cannot be pickled, and the
+        vectorized cache is dropped alongside it for symmetry (its plan
+        arrays would pickle, but rebuilding them is cheap).  Unpickled nets
+        (e.g. in batch worker processes) recompile on first simulation and
+        re-cache locally."""
         state = self.__dict__.copy()
         state["_compiled_cache"] = {}
+        state["_vectorized_cache"] = {}
         return state
 
     # ------------------------------------------------------------------
@@ -210,6 +216,24 @@ class PetriNet:
 
             cached = CompiledNet(self, extra_states=key)
             self._compiled_cache[key] = cached
+        return cached
+
+    def vectorized(self, extra_states: Iterable[State] = ()) -> "VectorizedNet":
+        """The NumPy-backed dense representation of this net (see
+        :mod:`repro.simulation.vectorized`).
+
+        Mirrors :meth:`compiled`: the result is cached per distinct state
+        universe, so repeated simulations (and repeated ensembles on one
+        :class:`~repro.simulation.batch.BatchRunner`) share one set of kernel
+        structures.  Raises :class:`ImportError` when NumPy is missing.
+        """
+        key = frozenset(extra_states) - self._states
+        cached = self._vectorized_cache.get(key)
+        if cached is None:
+            from ..simulation.vectorized import VectorizedNet
+
+            cached = VectorizedNet(self, extra_states=key)
+            self._vectorized_cache[key] = cached
         return cached
 
     # ------------------------------------------------------------------

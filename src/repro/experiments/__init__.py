@@ -1,4 +1,4 @@
-"""Experiment harness and the E1..E10 experiment definitions (see DESIGN.md)."""
+"""Experiment harness and the E1..E11 experiment definitions (see DESIGN.md)."""
 
 from . import experiment_defs  # noqa: F401  (registers the experiments)
 from .experiment_defs import (
@@ -12,6 +12,8 @@ from .experiment_defs import (
     experiment_e8_verification,
     experiment_e9_simulation_throughput,
     experiment_e10_parallel_batch,
+    experiment_e11_large_net_throughput,
+    random_interaction_protocol,
 )
 from .harness import ExperimentRegistry, ExperimentTable, registry
 
@@ -29,4 +31,6 @@ __all__ = [
     "experiment_e8_verification",
     "experiment_e9_simulation_throughput",
     "experiment_e10_parallel_batch",
+    "experiment_e11_large_net_throughput",
+    "random_interaction_protocol",
 ]

@@ -36,7 +36,7 @@ from ..controlstates.pcs import component_control_net
 from ..controlstates.small_cycles import total_cycle, total_cycle_length_bound
 from ..core.configuration import Configuration
 from ..core.petrinet import PetriNet
-from ..core.protocol import OUTPUT_ZERO
+from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
 from ..core.transition import Transition
 from ..protocols.example_4_1 import example_4_1_predicate, example_4_1_protocol
 from ..protocols.example_4_2 import (
@@ -71,6 +71,8 @@ __all__ = [
     "experiment_e8_verification",
     "experiment_e9_simulation_throughput",
     "experiment_e10_parallel_batch",
+    "experiment_e11_large_net_throughput",
+    "random_interaction_protocol",
 ]
 
 
@@ -637,7 +639,9 @@ def experiment_e10_parallel_batch(
         )
         return results, time.perf_counter() - start
 
-    serial_results, serial_elapsed = timed(BatchRunner(protocol, backend="serial"))
+    serial_runner = BatchRunner(protocol, backend="serial")
+    serial_results, serial_elapsed = timed(serial_runner)
+    serial_runner.close()
     interactions = sum(result.interactions_sampled for result in serial_results)
     table.add_row(
         **{
@@ -652,9 +656,8 @@ def experiment_e10_parallel_batch(
         }
     )
     for workers in worker_counts:
-        results, elapsed = timed(
-            BatchRunner(protocol, backend="process", max_workers=workers)
-        )
+        with BatchRunner(protocol, backend="process", max_workers=workers) as runner:
+            results, elapsed = timed(runner)
         if results != serial_results:
             raise RuntimeError(
                 f"process backend with {workers} workers diverged from the serial "
@@ -674,4 +677,226 @@ def experiment_e10_parallel_batch(
                 "speedup": serial_elapsed / elapsed,
             }
         )
+    return table
+
+
+# ----------------------------------------------------------------------
+# E11 — large-net throughput: NumPy engine vs compiled codegen vs reference
+# ----------------------------------------------------------------------
+def random_interaction_protocol(
+    num_transitions: int,
+    rng: random.Random,
+    density: int = 6,
+    agents_per_state: int = 4,
+):
+    """A random width-2 conservative protocol with ``num_transitions`` transitions.
+
+    The generator for the large-net throughput experiments: transitions are
+    distinct random pairwise interactions ``{a, b} -> {c, d}`` over
+    ``max(12, num_transitions // density)`` states, so states are shared
+    among many transitions the way the succinct-counting constructions share
+    their counter states (``density`` controls the coupling: larger means
+    fewer states per transition and denser ``affected`` sets).  Returns the
+    protocol together with an input configuration placing
+    ``agents_per_state`` agents on every state, which enables every
+    transition initially.
+    """
+    num_states = max(12, num_transitions // density)
+    # Feasibility: distinct keys are (unordered distinct pre pair) x
+    # (unordered post pair with repetition); the rejection loop below would
+    # otherwise spin forever on an unsatisfiable request.
+    distinct = (num_states * (num_states - 1) // 2) * (num_states * (num_states + 1) // 2)
+    if num_transitions > distinct:
+        raise ValueError(
+            f"cannot build {num_transitions} distinct width-2 transitions over "
+            f"{num_states} states (only {distinct} exist); lower `density` to "
+            "enlarge the state universe"
+        )
+    states = [f"q{i}" for i in range(num_states)]
+    seen = set()
+    transitions = []
+    while len(transitions) < num_transitions:
+        a, b = rng.sample(range(num_states), 2)
+        c = rng.randrange(num_states)
+        d = rng.randrange(num_states)
+        # PetriNet deduplicates transitions by (pre, post), so reject
+        # duplicates here to hit the requested transition count exactly.
+        key = (tuple(sorted((a, b))), tuple(sorted((c, d))))
+        if key in seen:
+            continue
+        seen.add(key)
+        post = {states[c]: 2} if c == d else {states[c]: 1, states[d]: 1}
+        transitions.append(
+            Transition(
+                {states[a]: 1, states[b]: 1}, post, name=f"t{len(transitions)}"
+            )
+        )
+    net = PetriNet(transitions, states=states, name=f"random-{num_transitions}")
+    # q0 says 1, everything else says 0: with agents spread over many states
+    # a consensus is effectively never reached, so runs exercise the engines
+    # for the whole step budget.
+    output = {
+        state: (OUTPUT_ONE if index == 0 else OUTPUT_ZERO)
+        for index, state in enumerate(states)
+    }
+    protocol = Protocol.from_petri_net(
+        net,
+        leaders=Configuration({}),
+        initial_states=states,
+        output=output,
+        name=f"random-{num_transitions}",
+    )
+    inputs = Configuration({state: agents_per_state for state in states})
+    return protocol, inputs
+
+
+@registry.register("E11")
+def experiment_e11_large_net_throughput(
+    transition_counts: Sequence[int] = (50, 200, 1000, 2000, 5000),
+    max_steps: int = 4000,
+    seed: int = 2022,
+    net_seed: int = 11,
+    density: int = 6,
+    reference_up_to: int = 200,
+    compiled_up_to: int = 8192,
+) -> ExperimentTable:
+    """Engine throughput on random nets swept over the transition count.
+
+    For each size, the same seeded random width-2 net is simulated with the
+    same run seed on every engine, and the engines are cross-checked to agree
+    on the final configuration, step count, consensus and consensus step (the
+    experiment raises on divergence; exact step-for-step trajectory equality
+    is asserted by the recorded-trajectory tests in the test suite).  Two costs are
+    reported per engine: the steady-state interaction throughput and the
+    one-off engine build time (stepper codegen for the compiled engine,
+    kernel-structure construction for the NumPy engine), with speedups
+    relative to the compiled engine both excluding (``speedup``) and
+    including (``e2e speedup``) the build.
+
+    The sweep shows the regime change the NumPy engine exists for: below a
+    couple hundred transitions the generated straight-line code wins, the
+    steady-state crossover sits around
+    :data:`~repro.simulation.simulator.AUTO_VECTORIZE_THRESHOLD`, and at a
+    few thousand transitions (between 2500 and 3000 on CPython 3.11) the
+    generated dispatch chain overflows the CPython compiler's recursion guard
+    and cannot be built at all — the default sweep's 5000-transition point
+    records that real failure as an empty ``engine="compiled"`` row.  Set
+    ``compiled_up_to`` below a sweep point to skip hopeless (or merely slow)
+    codegen attempts instead of demonstrating them.
+
+    The reference engine is only measured up to ``reference_up_to``
+    transitions (it recomputes every weight per step, so large sweeps would
+    dominate the experiment's runtime).  The NumPy rows require the optional
+    ``sim`` extra; without NumPy they are skipped.
+    """
+    from ..simulation.vectorized import numpy_available
+
+    table = ExperimentTable(
+        experiment_id="E11",
+        title="large-net throughput: NumPy engine vs compiled codegen (random width-2 nets)",
+        columns=[
+            "transitions",
+            "states",
+            "engine",
+            "build s",
+            "run s",
+            "interactions",
+            "interactions/s",
+            "speedup",
+            "e2e speedup",
+        ],
+        notes=(
+            "same net and run seed per row group; engines cross-checked to agree "
+            "on final configuration, steps and consensus; speedups are relative "
+            "to the compiled engine (run only vs build+run); empty compiled rows "
+            "mean the generated stepper exceeded the CPython compiler's limits"
+        ),
+    )
+    for num_transitions in transition_counts:
+        protocol, inputs = random_interaction_protocol(
+            num_transitions, random.Random(net_seed), density=density
+        )
+        engines = []
+        if num_transitions <= reference_up_to:
+            engines.append("reference")
+        engines.append("compiled")
+        if numpy_available():
+            engines.append("numpy")
+        outcomes = {}
+        for engine in engines:
+            if engine == "compiled" and num_transitions > compiled_up_to:
+                outcomes[engine] = None
+                continue
+            start = time.perf_counter()
+            try:
+                simulator = Simulator(protocol, seed=seed, engine=engine)
+            except RecursionError:
+                # The generated dispatch chain exceeded the CPython
+                # compiler's recursion guard: record the failure as an empty
+                # row rather than aborting the sweep.
+                outcomes[engine] = None
+                continue
+            build = time.perf_counter() - start
+            # The engines are deterministic for a fixed seed, so repeated runs
+            # retrace the same trajectory; keep the fastest of two timings.
+            run_elapsed = None
+            for _ in range(2):
+                run_simulator = Simulator(protocol, seed=seed, engine=engine)
+                start = time.perf_counter()
+                result = run_simulator.run(
+                    inputs, max_steps=max_steps, stability_window=max_steps
+                )
+                elapsed = time.perf_counter() - start
+                run_elapsed = elapsed if run_elapsed is None else min(run_elapsed, elapsed)
+            outcomes[engine] = (build, run_elapsed, result)
+        baseline = outcomes.get("compiled")
+        for engine in engines:
+            outcome = outcomes[engine]
+            if outcome is None:
+                table.add_row(
+                    **{
+                        "transitions": num_transitions,
+                        "states": protocol.petri_net.num_states,
+                        "engine": engine,
+                        "build s": None,
+                        "run s": None,
+                        "interactions": None,
+                        "interactions/s": None,
+                        "speedup": None,
+                        "e2e speedup": None,
+                    }
+                )
+                continue
+            build, run_elapsed, result = outcome
+            if baseline is not None:
+                reference_result = baseline[2]
+                agrees = (
+                    result.final == reference_result.final
+                    and result.steps == reference_result.steps
+                    and result.consensus == reference_result.consensus
+                    and result.consensus_step == reference_result.consensus_step
+                    and result.interactions_sampled == reference_result.interactions_sampled
+                )
+                if not agrees:
+                    raise RuntimeError(
+                        f"engine {engine!r} diverged from the compiled trajectory "
+                        f"at {num_transitions} transitions"
+                    )
+            table.add_row(
+                **{
+                    "transitions": num_transitions,
+                    "states": protocol.petri_net.num_states,
+                    "engine": engine,
+                    "build s": build,
+                    "run s": run_elapsed,
+                    "interactions": result.interactions_sampled,
+                    "interactions/s": interactions_per_second([result], run_elapsed),
+                    "speedup": None if baseline is None else baseline[1] / run_elapsed,
+                    "e2e speedup": (
+                        None
+                        if baseline is None
+                        else (baseline[0] + baseline[1]) / (build + run_elapsed)
+                    ),
+                }
+            )
     return table

@@ -3,26 +3,52 @@
 The simulation layer is organized in three tiers:
 
 **Engines** (:mod:`~repro.simulation.simulator`,
-:mod:`~repro.simulation.compiled`).  A single run executes on one of two
-engines with identical semantics: the *compiled* dense-array engine (default
-for the built-in schedulers — states mapped to dense indices, a generated
-stepper mutating one counts array with incremental scheduler weights and O(1)
-consensus counters) and the sparse *reference* engine
-(``engine="reference"`` — one immutable configuration per step, full
-rescans).  Both consume the random stream identically, so trajectories match
-step for step; the test suite asserts this across the named protocols and a
-seeded sweep of random nets.
+:mod:`~repro.simulation.compiled`, :mod:`~repro.simulation.vectorized`).
+A single run executes on one of three engines with identical semantics:
+
+* the *compiled* dense-array engine — states mapped to dense indices, a
+  generated straight-line stepper mutating one counts array with incremental
+  scheduler weights and O(1) consensus counters.  Unbeatable on the small
+  nets of the named protocols, but its per-step dispatch (and its codegen)
+  grows linearly in the transition count, and beyond ~2500 transitions the
+  generated code exceeds what CPython can compile;
+* the *NumPy* engine (``engine="numpy"``, optional ``sim`` extra) — the same
+  dense mapping, with the counts and scheduler weights kept as ``int64``
+  vectors updated by array kernels through a precomputed transition-adjacency
+  structure.  Per-step cost is essentially flat in the transition count,
+  which wins on nets with hundreds to thousands of transitions — the regime
+  of the paper's succinct-counting constructions;
+* the sparse *reference* engine (``engine="reference"``) — one immutable
+  configuration per step, full rescans; the semantics-first baseline.
+
+All three consume the random stream identically, so trajectories match step
+for step; the test suite asserts this across the named protocols and a
+seeded sweep of random nets.  ``engine="auto"`` (the default) selects the
+NumPy engine at :data:`~repro.simulation.simulator.AUTO_VECTORIZE_THRESHOLD`
+(256) transitions and above — benchmark E11 puts the measured steady-state
+crossover between ~200 (densely coupled nets) and ~500 (sparse) transitions,
+and the compiled engine's per-(net, process) codegen cost pushes the
+end-to-end crossover far lower — falling back to the compiled engine when
+NumPy is missing and to the reference engine for custom schedulers.  The
+``REPRO_FORCE_ENGINE`` environment variable overrides the auto choice.
 
 **Batches** (:mod:`~repro.simulation.batch`).  Ensembles of independent runs
 (``Simulator.run_many``, :class:`BatchRunner`, :func:`run_ensemble`) derive
 one seed per repetition from a master generator up front and can execute
 either serially or fanned out over ``multiprocessing`` workers
 (``backend="process"``); chunked, index-ordered dispatch keeps the two
-backends bit-identical, and workers rebuild compiled steppers from pickled
-protocols on first use.
+backends bit-identical, and workers rebuild dense-engine steppers from
+pickled protocols on first use.  A :class:`BatchRunner` owns a **persistent
+pool**: workers are spawned and initialized once (on the first
+process-backend ensemble) and reused across every subsequent
+``run_many``/``run_seeds``, so repeated ensembles stop paying pool startup,
+protocol pickling and stepper compilation — benchmark E11 measures the
+second call severalfold faster than the old build-per-call behavior.
+Release the pool with ``close()`` or a ``with`` block; a closed runner
+raises on further use.
 
 **Trajectories** (:mod:`~repro.simulation.trajectory`).  Opt-in path
-recording (``record_trajectory=True``): both engines write the fired
+recording (``record_trajectory=True``): every engine writes the fired
 transition indices into a bounded ring buffer, decoded into a
 :class:`Trajectory` that keeps the last ``trajectory_capacity`` firings,
 counts what was dropped, and can replay complete paths on the net.
@@ -34,7 +60,8 @@ statistics.
 from .batch import BatchRunner, run_ensemble
 from .compiled import CompiledNet
 from .scheduler import Scheduler, TransitionScheduler, UniformScheduler
-from .simulator import SimulationResult, Simulator, simulate
+from .simulator import AUTO_VECTORIZE_THRESHOLD, SimulationResult, Simulator, simulate
+from .vectorized import VectorizedNet, numpy_available
 from .statistics import (
     ConvergenceStatistics,
     accuracy_against_predicate,
@@ -48,6 +75,9 @@ __all__ = [
     "UniformScheduler",
     "TransitionScheduler",
     "CompiledNet",
+    "VectorizedNet",
+    "numpy_available",
+    "AUTO_VECTORIZE_THRESHOLD",
     "Simulator",
     "SimulationResult",
     "simulate",

@@ -13,7 +13,7 @@ to the serial order**:
 * repetitions are dispatched to workers in contiguous, index-ordered chunks
   through ``Pool.map``, which returns the chunks in submission order, so the
   flattened result list is in repetition order,
-* each worker process unpickles the protocol once (steppers and compiled-net
+* each worker process unpickles the protocol once (steppers and dense-net
   caches are dropped on pickling and regenerated in the worker — see
   ``CompiledNet.__getstate__``), builds one
   :class:`~repro.simulation.simulator.Simulator`, and reuses one dense counts
@@ -22,12 +22,21 @@ to the serial order**:
 Entry points:
 
 * :func:`run_ensemble` — functional core: run a list of seeds on a backend,
+  building (and tearing down) an ephemeral pool per call,
 * :class:`BatchRunner` — a configured handle (protocol + backend knobs) for
-  repeated ensembles, the batch analogue of constructing a ``Simulator``.
+  repeated ensembles, with a **persistent pool**: the worker processes are
+  created once, on the first process-backend call, and the initialized
+  workers (protocol unpickled, steppers / vectorized kernels built) are
+  reused across every subsequent :meth:`~BatchRunner.run_many` /
+  :meth:`~BatchRunner.run_seeds` until :meth:`~BatchRunner.close` — which a
+  ``with`` block calls automatically.  Only per-ensemble parameters travel to
+  the workers after the first call, so repeated ensembles stop paying pool
+  startup, protocol pickling and stepper compilation.
 
 ``backend="serial"`` runs the same code path without processes and is the
-reference ordering; ``backend="process"`` must agree with it exactly (the
-test suite and the E10 experiment both assert this).
+reference ordering; ``backend="process"`` must agree with it exactly
+regardless of pool reuse (the test suite and the E10 experiment both assert
+this).
 """
 
 from __future__ import annotations
@@ -67,7 +76,7 @@ def _default_max_workers() -> int:
 
 
 # ----------------------------------------------------------------------
-# Shared option validation and pickling
+# Shared option validation, pickling, and chunk planning
 # ----------------------------------------------------------------------
 def _validate_batch_options(
     backend: str, max_workers: Optional[int], chunk_size: Optional[int]
@@ -91,31 +100,64 @@ def _dumps_for_workers(payload: object) -> bytes:
         ) from error
 
 
-#: Per-process state installed by the pool initializer: the worker's simulator
-#: plus the run parameters shared by every repetition of the ensemble.
-_WORKER_STATE = None
+def _plan_chunks(
+    seeds: Sequence[int], workers: int, chunk_size: Optional[int]
+) -> List[Sequence[int]]:
+    """Split the seed list into contiguous, index-ordered chunks.
+
+    The default chunk size aims for about four chunks per worker, balancing
+    load against dispatch overhead.  Chunking can never change results — only
+    how the (pre-derived) seeds are grouped for transport.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(seeds) // (workers * 4)))
+    return [seeds[i : i + chunk_size] for i in range(0, len(seeds), chunk_size)]
+
+
+#: Per-process simulator installed by the pool initializer.  Built exactly
+#: once per worker — persistent pools reuse it across every ensemble the
+#: runner dispatches, which is the whole point of keeping the pool alive.
+_WORKER_SIMULATOR = None
 
 
 def _initialize_worker(spec_bytes: bytes) -> None:
-    """Pool initializer: unpickle the ensemble spec and build one simulator.
+    """Pool initializer: unpickle the protocol and build one simulator.
 
     The spec travels as an explicit pickle blob (not fork-inherited memory) so
     the pickling path is exercised under every multiprocessing start method,
-    and each worker compiles its own steppers exactly once.
+    and each worker compiles its steppers exactly once.
     """
-    global _WORKER_STATE
-    protocol, scheduler, engine, configuration, max_steps, stability_window, record, capacity = (
-        pickle.loads(spec_bytes)
-    )
-    simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
-    _WORKER_STATE = (simulator, configuration, max_steps, stability_window, record, capacity)
+    global _WORKER_SIMULATOR
+    protocol, scheduler, engine = pickle.loads(spec_bytes)
+    _WORKER_SIMULATOR = Simulator(protocol, scheduler=scheduler, engine=engine)
 
 
-def _run_worker_chunk(seeds: Sequence[int]) -> List[SimulationResult]:
-    simulator, configuration, max_steps, stability_window, record, capacity = _WORKER_STATE
-    return simulator._run_seeds(
+def _run_worker_task(task) -> List[SimulationResult]:
+    """Run one chunk of seeds on the worker's persistent simulator.
+
+    ``task`` carries the per-ensemble parameters (initial configuration, step
+    budget, recording knobs) alongside the chunk, so one initialized pool can
+    serve ensembles with different parameters.
+    """
+    configuration, seeds, max_steps, stability_window, record, capacity = task
+    return _WORKER_SIMULATOR._run_seeds(
         configuration, list(seeds), max_steps, stability_window, record, capacity
     )
+
+
+def _make_tasks(
+    configuration: Configuration,
+    chunks: List[Sequence[int]],
+    max_steps: int,
+    stability_window: int,
+    record_trajectory: bool,
+    trajectory_capacity: int,
+) -> List[tuple]:
+    return [
+        (configuration, chunk, max_steps, stability_window, record_trajectory,
+         trajectory_capacity)
+        for chunk in chunks
+    ]
 
 
 # ----------------------------------------------------------------------
@@ -171,6 +213,10 @@ def run_ensemble(
         As for :meth:`Simulator.run <repro.simulation.simulator.Simulator.run>`;
         recorded trajectories are returned with the results across the process
         boundary.
+
+    This functional entry point builds an ephemeral pool per call; use
+    :class:`BatchRunner` to amortize pool construction over repeated
+    ensembles.
     """
     _validate_batch_options(backend, max_workers, chunk_size)
     if record_trajectory and trajectory_capacity < 1:
@@ -201,22 +247,18 @@ def run_ensemble(
     configuration = protocol.initial_configuration(inputs)
     workers = max_workers if max_workers is not None else _default_max_workers()
     workers = max(1, min(workers, len(seeds)))
-    if chunk_size is None:
-        chunk_size = max(1, -(-len(seeds) // (workers * 4)))
-    chunks = [seeds[i : i + chunk_size] for i in range(0, len(seeds), chunk_size)]
-
-    spec_bytes = _dumps_for_workers(
-        (
-            protocol, scheduler, engine, configuration,
-            max_steps, stability_window, record_trajectory, trajectory_capacity,
-        )
+    chunks = _plan_chunks(seeds, workers, chunk_size)
+    tasks = _make_tasks(
+        configuration, chunks, max_steps, stability_window,
+        record_trajectory, trajectory_capacity,
     )
+    spec_bytes = _dumps_for_workers((protocol, scheduler, engine))
 
     context = multiprocessing.get_context(start_method)
     with context.Pool(
         processes=workers, initializer=_initialize_worker, initargs=(spec_bytes,)
     ) as pool:
-        chunk_results = pool.map(_run_worker_chunk, chunks)
+        chunk_results = pool.map(_run_worker_task, tasks)
     return [result for chunk in chunk_results for result in chunk]
 
 
@@ -231,18 +273,31 @@ class BatchRunner:
 
         Simulator(p, seed=s).run_many(x, n)                      # serial
         Simulator(p, seed=s).run_many(x, n, backend="process")   # parallel
-        BatchRunner(p).run_many(x, n, seed=s)                    # parallel
+        with BatchRunner(p) as r:
+            r.run_many(x, n, seed=s)                             # parallel
 
     Parameters mirror :func:`run_ensemble`; ``backend`` defaults to
     ``"process"`` since a serial ensemble is what ``Simulator.run_many``
     already provides.
 
-    Note on cost: each ``run_many``/``run_seeds`` call currently builds and
-    tears down its own worker pool, so every call pays pool startup plus
-    per-worker protocol unpickling and stepper compilation.  That fixed cost
-    amortizes over large ensembles but dominates repeated tiny ones — batch
-    your repetitions into as few calls as possible.  (A persistent pool with
-    an explicit close()/context-manager lifecycle is a ROADMAP item.)
+    **Pool lifecycle.**  The worker pool is created lazily on the first
+    process-backend ensemble and then kept alive: workers keep their
+    unpickled protocol, built steppers / vectorized kernels, and dense counts
+    buffers, so a second :meth:`run_many` pays none of the startup cost
+    again.  Release the processes with :meth:`close` (idempotent), or use the
+    runner as a context manager::
+
+        with BatchRunner(protocol, max_workers=4) as runner:
+            first = runner.run_many(inputs, 64, seed=1)
+            second = runner.run_many(inputs, 64, seed=2)   # reuses the pool
+
+    After :meth:`close` the runner is spent: further ensembles (and
+    re-entering the ``with`` block) raise :class:`RuntimeError` — construct a
+    new runner instead.  Serial runners hold no processes; their
+    :meth:`close` only marks the runner spent.  Pool reuse cannot change
+    results: the per-repetition seeds are derived before dispatch and chunks
+    return in submission order, so a persistent pool, an ephemeral pool and
+    the serial loop all produce bit-identical ensembles.
     """
 
     def __init__(
@@ -259,9 +314,10 @@ class BatchRunner:
         # Fail fast: validate scheduler/engine compatibility (by building a
         # simulator in-process) and, for the process backend, that the workers
         # could actually receive the protocol and scheduler.  The simulator is
-        # kept: serial ensembles run on it (reusing its compiled stepper and
-        # counts buffer across calls) and process ensembles use it as proof
-        # that run_ensemble need not re-validate.
+        # kept: serial ensembles run on it — reusing its compiled stepper /
+        # vectorized kernels and counts buffer across calls, so back-to-back
+        # run_many calls recompile nothing — and process ensembles use it as
+        # proof that the worker initializer cannot fail.
         self._simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
         if backend == "process":
             _dumps_for_workers((protocol, scheduler))
@@ -272,7 +328,86 @@ class BatchRunner:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.start_method = start_method
+        self._pool = None
+        self._pool_workers: Optional[int] = None
+        self._closed = False
 
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called (the runner is spent)."""
+        return self._closed
+
+    def _ensure_pool(self):
+        """The persistent worker pool, created on first use.
+
+        Sized from ``max_workers`` (or the environment/CPU default) rather
+        than the first ensemble's repetition count, so a later, larger
+        ensemble still gets the full parallelism.
+        """
+        if self._pool is None:
+            workers = (
+                self.max_workers if self.max_workers is not None
+                else _default_max_workers()
+            )
+            spec_bytes = _dumps_for_workers(
+                (self.protocol, self.scheduler, self.engine)
+            )
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=workers,
+                initializer=_initialize_worker,
+                initargs=(spec_bytes,),
+            )
+            self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool and mark the runner spent.
+
+        Idempotent: closing twice (or closing a runner that never built a
+        pool) is a no-op.  Subsequent ensembles raise :class:`RuntimeError`.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_workers = None
+        self._closed = True
+
+    def __enter__(self) -> "BatchRunner":
+        if self._closed:
+            raise RuntimeError(
+                "BatchRunner is closed; construct a new runner to re-enter"
+            )
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        # Safety net for runners abandoned without close(); deterministic
+        # cleanup is the caller's job (close() or the context manager).
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "BatchRunner is closed; construct a new runner for further "
+                "ensembles"
+            )
+
+    # ------------------------------------------------------------------
+    # Ensembles
+    # ------------------------------------------------------------------
     def run_many(
         self,
         inputs: Configuration,
@@ -307,26 +442,34 @@ class BatchRunner:
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> List[SimulationResult]:
         """Run one repetition per explicit seed (index-aligned results)."""
-        return run_ensemble(
-            self.protocol,
-            inputs,
-            seeds,
-            scheduler=self.scheduler,
-            engine=self.engine,
-            max_steps=max_steps,
-            stability_window=stability_window,
-            backend=self.backend,
-            max_workers=self.max_workers,
-            chunk_size=self.chunk_size,
-            start_method=self.start_method,
-            record_trajectory=record_trajectory,
-            trajectory_capacity=trajectory_capacity,
-            _serial_simulator=self._simulator,
+        self._check_open()
+        if record_trajectory and trajectory_capacity < 1:
+            raise ValueError("trajectory_capacity must be at least 1")
+        seeds = list(seeds)
+        configuration = self.protocol.initial_configuration(inputs)
+        if self.backend == "serial" or not seeds:
+            return self._simulator._run_seeds(
+                configuration, seeds, max_steps, stability_window,
+                record_trajectory, trajectory_capacity,
+            )
+        pool = self._ensure_pool()
+        # Chunk for the effective parallelism of this ensemble; the pool may
+        # hold more workers than there are seeds.
+        effective = max(1, min(self._pool_workers, len(seeds)))
+        chunks = _plan_chunks(seeds, effective, self.chunk_size)
+        tasks = _make_tasks(
+            configuration, chunks, max_steps, stability_window,
+            record_trajectory, trajectory_capacity,
         )
+        chunk_results = pool.map(_run_worker_task, tasks)
+        return [result for chunk in chunk_results for result in chunk]
 
     def __repr__(self) -> str:
         workers = self.max_workers if self.max_workers is not None else "auto"
+        state = "closed" if self._closed else (
+            "pool up" if self._pool is not None else "pool pending"
+        )
         return (
             f"BatchRunner({self.protocol.name or 'protocol'}, backend={self.backend!r}, "
-            f"max_workers={workers})"
+            f"max_workers={workers}, {state})"
         )

@@ -27,6 +27,14 @@ schedulers (one ``randrange(total)`` per step for the uniform discipline, one
 ``choice(enabled)`` per step for the transition discipline), so for a fixed
 ``(protocol, inputs, seed)`` the compiled and reference engines produce
 identical trajectories step for step; the test suite asserts this.
+
+The dense mapping built here (state indexing, ``pre``/``delta`` tuples, the
+``affected`` incremental-scheduling map, output classes and consensus deltas)
+is shared with the NumPy engine: :class:`~repro.simulation.vectorized
+.VectorizedNet` subclasses :class:`CompiledNet` and swaps the generated
+straight-line code for array kernels, which wins once the net has more
+transitions than the unrolled dispatch can stomach (see
+:data:`repro.simulation.simulator.AUTO_VECTORIZE_THRESHOLD`).
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ __all__ = [
     "OUT_UNDEFINED",
     "OUT_IGNORED",
     "CompiledNet",
+    "check_kind",
 ]
 
 #: Dense output classes used by the consensus counters of the compiled engine.
@@ -54,8 +63,18 @@ OUT_UNDEFINED = 2
 #: (mirroring :meth:`repro.core.protocol.Protocol.configuration_output`).
 OUT_IGNORED = 3
 
-#: Scheduler disciplines the code generator knows how to specialize.
+#: Scheduler disciplines the dense engines know how to specialize (shared by
+#: the generated-code steppers here and the NumPy kernels of
+#: :mod:`repro.simulation.vectorized`).
 _KINDS = ("uniform", "transition")
+
+
+def check_kind(kind: str) -> None:
+    """Reject scheduler disciplines the dense engines don't implement."""
+    if kind not in _KINDS:
+        raise ValueError(
+            f"unknown compiled scheduler kind: {kind!r} (expected one of {_KINDS})"
+        )
 
 
 class CompiledNet:
@@ -345,8 +364,7 @@ def _fire_statements(
 
 def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], record: bool = False):
     """Emit and compile the specialized simulation loop for ``net``."""
-    if kind not in _KINDS:
-        raise ValueError(f"unknown compiled scheduler kind: {kind!r} (expected one of {_KINDS})")
+    check_kind(kind)
     consensus_deltas = net.consensus_deltas(classes)
     # Nets without '*'-output states keep ``undef`` identically zero; the
     # generated consensus code drops the test entirely.
@@ -447,7 +465,17 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], rec
     source = "\n".join(lines)
     namespace = {"comb": comb}
     label = f"{net.net.name or 'net'}/{kind}" + ("/recording" if record else "")
-    exec(compile(source, f"<compiled stepper: {label}>", "exec"), namespace)
+    try:
+        exec(compile(source, f"<compiled stepper: {label}>", "exec"), namespace)
+    except RecursionError:
+        # The unrolled dispatch is one elif per transition and the CPython
+        # compiler recurses once per branch, so a few thousand transitions
+        # overflow its recursion guard before the code even runs.
+        raise RecursionError(
+            f"net is too large for the compiled engine ({num_transitions} transitions "
+            "overflow the CPython compiler while building the generated stepper); "
+            "use engine='numpy' (or engine='auto', which selects it)"
+        ) from None
     stepper = namespace["__compiled_stepper"]
     stepper.__source__ = source  # kept for debugging and the test suite
     return stepper

@@ -15,27 +15,36 @@ A run proceeds step by step until one of:
 The result records the trajectory summary, the final configuration, the
 consensus value (if any) and how many steps were needed to reach it.
 
-Two engines implement these semantics:
+Three engines implement these semantics:
 
-* the **compiled engine** (the default for the built-in schedulers) maps
-  states to dense indices once per net and runs a generated loop that mutates
-  a single counts array in place, reweighs transitions incrementally and
-  checks consensus in O(1) via maintained output counters
-  (:mod:`repro.simulation.compiled`),
+* the **compiled engine** (``engine="compiled"``, the default for small nets
+  under the built-in schedulers) maps states to dense indices once per net
+  and runs a generated loop that mutates a single counts array in place,
+  reweighs transitions incrementally and checks consensus in O(1) via
+  maintained output counters (:mod:`repro.simulation.compiled`),
+* the **NumPy engine** (``engine="numpy"``, the default for large nets when
+  NumPy is installed) keeps the same dense mapping but maintains the counts
+  and scheduler weights as ``int64`` vectors updated with array kernels, so
+  its per-step cost is flat in the transition count instead of linear like
+  the compiled dispatch chain (:mod:`repro.simulation.vectorized`),
 * the **reference engine** (``engine="reference"``) is the original sparse
   implementation: one immutable :class:`~repro.core.configuration.Configuration`
   per step, full consensus rescans, full weight recomputation.
 
-Both engines consume the random stream identically, so for a fixed
-``(protocol, inputs, seed)`` they produce the same trajectory step for step;
-the compiled engine is simply 10-30x faster.  ``engine="auto"`` (the default)
-uses the compiled engine whenever the scheduler admits one and falls back to
-the reference engine otherwise (custom schedulers, configurations mentioning
-states outside the compiled universe).
+All engines consume the random stream identically, so for a fixed
+``(protocol, inputs, seed)`` they produce the same trajectory step for step.
+``engine="auto"`` (the default) picks the NumPy engine when the net has at
+least :data:`AUTO_VECTORIZE_THRESHOLD` transitions and NumPy is installed,
+the compiled engine for smaller nets (or when NumPy is missing), and falls
+back to the reference engine otherwise (custom schedulers, configurations
+mentioning states outside the compiled universe).  The ``REPRO_FORCE_ENGINE``
+environment variable overrides the ``engine="auto"`` choice — the knob the CI
+uses to drive the whole suite through one engine.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -46,10 +55,30 @@ from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
 from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO
 from .scheduler import Scheduler, UniformScheduler
 from .trajectory import DEFAULT_TRAJECTORY_CAPACITY, Trajectory
+from .vectorized import numpy_available
 
-__all__ = ["SimulationResult", "Simulator", "simulate"]
+__all__ = ["AUTO_VECTORIZE_THRESHOLD", "SimulationResult", "Simulator", "simulate"]
 
-_ENGINES = ("auto", "compiled", "reference")
+_ENGINES = ("auto", "compiled", "numpy", "reference")
+
+#: Transition count at which ``engine="auto"`` switches from the compiled
+#: engine to the NumPy engine.  Calibrated with benchmark E11
+#: (``benchmarks/bench_e11_large_net_throughput.py``): on random width-2 nets
+#: the steady-state crossover sits around ~200 transitions for densely
+#: coupled nets and ~500 for sparse ones, the compiled engine's codegen cost
+#: (absent entirely from the NumPy engine) pushes the end-to-end crossover
+#: well below 100, and beyond a few thousand transitions the generated
+#: dispatch chain cannot be compiled at all (CPython recursion guard).  256
+#: splits the steady-state range while keeping every named protocol of the
+#: paper on the compiled engine.
+AUTO_VECTORIZE_THRESHOLD = 256
+
+#: Environment override consulted by ``engine="auto"`` only: one of
+#: ``reference`` / ``compiled`` / ``numpy`` / ``auto``.  Explicit ``engine=``
+#: arguments are never overridden, so engine-equivalence tests keep testing
+#: what they name.  Worker processes inherit the environment, so a forced
+#: engine applies to process-backend ensembles too.
+_FORCE_ENGINE_ENV = "REPRO_FORCE_ENGINE"
 
 
 @dataclass
@@ -90,8 +119,14 @@ class Simulator:
     seed:
         Seed of the internal random generator (for reproducible runs).
     engine:
-        ``"auto"`` (default) runs the compiled engine when the scheduler
-        admits one, ``"compiled"`` requires it (raising otherwise), and
+        ``"auto"`` (default) picks a dense engine when the scheduler admits
+        one — the NumPy engine for nets with at least
+        :data:`AUTO_VECTORIZE_THRESHOLD` transitions (if NumPy is installed,
+        silently skipped otherwise), the compiled engine below that —
+        honouring the ``REPRO_FORCE_ENGINE`` environment override.
+        ``"compiled"`` and ``"numpy"`` require that engine (raising
+        ``ValueError`` for schedulers without a dense fast path, and
+        ``ImportError`` for ``"numpy"`` without NumPy installed);
         ``"reference"`` forces the sparse reference engine.
     """
 
@@ -119,16 +154,45 @@ class Simulator:
         if engine != "reference":
             kind = self.scheduler.compiled_kind()
             if kind is None:
-                if engine == "compiled":
+                if engine in ("compiled", "numpy"):
                     raise ValueError(
                         f"scheduler {type(self.scheduler).__name__} has no compiled fast "
                         "path; use engine='auto' or engine='reference'"
                     )
             else:
-                self._compiled = self.net.compiled(extra_states=self.protocol.states)
-                self._classes = self._compiled.output_classes(self.protocol.output_table)
-                self._stepper = self._compiled.stepper(kind, self._classes)
-                self._kind = kind
+                choice = self._resolve_auto(engine)
+                if choice == "numpy":
+                    self._compiled = self.net.vectorized(extra_states=self.protocol.states)
+                elif choice == "compiled":
+                    self._compiled = self.net.compiled(extra_states=self.protocol.states)
+                if self._compiled is not None:
+                    self._classes = self._compiled.output_classes(self.protocol.output_table)
+                    self._stepper = self._compiled.stepper(kind, self._classes)
+                    self._kind = kind
+
+    def _resolve_auto(self, engine: str) -> str:
+        """The dense engine to build for a scheduler that admits one.
+
+        Returns ``"compiled"``, ``"numpy"`` or ``"reference"`` (the last only
+        via the environment override).  Explicit engines pass through; only
+        ``engine="auto"`` consults ``REPRO_FORCE_ENGINE`` and the
+        transition-count heuristic.
+        """
+        if engine != "auto":
+            return engine
+        forced = os.environ.get(_FORCE_ENGINE_ENV)
+        if forced and forced != "auto":
+            if forced not in _ENGINES:
+                raise ValueError(
+                    f"{_FORCE_ENGINE_ENV} must be one of {_ENGINES}, got {forced!r}"
+                )
+            # Forcing "numpy" without NumPy installed raises (loudly, from
+            # the VectorizedNet constructor) rather than silently testing a
+            # different engine than the CI job asked for.
+            return forced
+        if numpy_available() and self.net.num_transitions >= AUTO_VECTORIZE_THRESHOLD:
+            return "numpy"
+        return "compiled"
 
     # ------------------------------------------------------------------
     # Single runs
@@ -190,7 +254,7 @@ class Simulator:
                     configuration, counts, max_steps, stability_window, rng,
                     record_trajectory, trajectory_capacity,
                 )
-            if self.engine == "compiled":
+            if self.engine in ("compiled", "numpy"):
                 raise ValueError(
                     "configuration mentions states outside the compiled universe; "
                     "use engine='auto' or engine='reference'"

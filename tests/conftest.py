@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite.
+
+The suite honours the ``REPRO_FORCE_ENGINE`` environment variable (also
+consulted by ``Simulator(engine="auto")`` itself): the CI matrix sets it to
+``numpy`` to drive every auto-mode simulation — including all the batch and
+trajectory tests — through the vectorized engine, proving it is a drop-in
+replacement.  The session fixture below validates the value up front and
+skips the run with a clear message when the forced engine's optional
+dependency is missing, instead of failing every test individually.
+"""
+
+import os
+
+import pytest
+
+from repro.simulation.simulator import _ENGINES
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _honour_forced_engine():
+    forced = os.environ.get("REPRO_FORCE_ENGINE")
+    if forced:
+        if forced not in _ENGINES:
+            pytest.exit(
+                f"REPRO_FORCE_ENGINE must be one of {_ENGINES}, got {forced!r}",
+                returncode=4,
+            )
+        if forced == "numpy":
+            pytest.importorskip(
+                "numpy",
+                reason="REPRO_FORCE_ENGINE=numpy requires the optional 'sim' extra",
+            )
+    yield

@@ -302,6 +302,134 @@ class TestReproducibility:
         assert parallel == serial
 
 
+class TestPersistentPool:
+    """The pool lifecycle: one pool per runner, reused across ensembles,
+    released by close()/the context manager, spent afterwards — and never
+    able to change results."""
+
+    def test_consecutive_run_many_calls_reuse_one_pool(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        with BatchRunner(protocol, max_workers=2) as runner:
+            first = runner.run_many(inputs, repetitions=8, seed=21, max_steps=800)
+            pool = runner._pool
+            assert pool is not None
+            second = runner.run_many(inputs, repetitions=8, seed=22, max_steps=800)
+            assert runner._pool is pool
+        # Fresh-pool runs of the same seeds must be bit-identical: pool reuse
+        # cannot leak state between ensembles.
+        fresh_first = BatchRunner(protocol, max_workers=2)
+        fresh_second = BatchRunner(protocol, max_workers=2)
+        try:
+            assert fresh_first.run_many(inputs, repetitions=8, seed=21, max_steps=800) == first
+            assert fresh_second.run_many(inputs, repetitions=8, seed=22, max_steps=800) == second
+        finally:
+            fresh_first.close()
+            fresh_second.close()
+
+    def test_persistent_pool_matches_serial(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        serial = BatchRunner(protocol, backend="serial").run_many(
+            inputs, repetitions=6, seed=31, max_steps=800
+        )
+        with BatchRunner(protocol, max_workers=2) as runner:
+            runner.run_many(inputs, repetitions=3, seed=99, max_steps=400)  # warm the pool
+            assert runner.run_many(inputs, repetitions=6, seed=31, max_steps=800) == serial
+
+    def test_close_is_idempotent(self):
+        runner = BatchRunner(majority_protocol(), max_workers=2)
+        runner.run_many(_majority_inputs(12), repetitions=2, seed=0, max_steps=300)
+        assert not runner.closed
+        runner.close()
+        assert runner.closed
+        runner.close()  # second close is a no-op
+        assert runner.closed
+
+    def test_close_without_ever_building_a_pool(self):
+        runner = BatchRunner(majority_protocol(), max_workers=2)
+        runner.close()
+        assert runner.closed
+
+    def test_use_after_close_raises(self):
+        runner = BatchRunner(majority_protocol(), max_workers=2)
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.run_many(_majority_inputs(12), repetitions=2, seed=0)
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.run_seeds(_majority_inputs(12), [1, 2])
+
+    def test_serial_runner_close_and_use_after_close(self):
+        runner = BatchRunner(majority_protocol(), backend="serial")
+        runner.run_many(_majority_inputs(12), repetitions=2, seed=0, max_steps=300)
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.run_many(_majority_inputs(12), repetitions=2, seed=0)
+
+    def test_reentering_a_closed_runner_raises(self):
+        runner = BatchRunner(majority_protocol(), max_workers=2)
+        with runner:
+            pass
+        assert runner.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            with runner:
+                pass  # pragma: no cover
+
+    def test_context_manager_returns_the_runner_and_closes(self):
+        with BatchRunner(majority_protocol(), backend="serial") as runner:
+            assert isinstance(runner, BatchRunner)
+            assert not runner.closed
+        assert runner.closed
+
+    def test_pool_not_clamped_by_the_first_small_ensemble(self):
+        # The pool is sized from max_workers, not from the first call's
+        # repetition count, so a later larger ensemble keeps its parallelism.
+        protocol = majority_protocol()
+        inputs = _majority_inputs(18)
+        with BatchRunner(protocol, max_workers=2) as runner:
+            runner.run_many(inputs, repetitions=1, seed=1, max_steps=300)
+            assert runner._pool_workers == 2
+            bigger = runner.run_many(inputs, repetitions=8, seed=2, max_steps=600)
+        fresh = BatchRunner(protocol, max_workers=2)
+        try:
+            assert fresh.run_many(inputs, repetitions=8, seed=2, max_steps=600) == bigger
+        finally:
+            fresh.close()
+
+    def test_serial_runner_reuses_compiled_artifacts_across_calls(self):
+        # The rebuild-waste fix: back-to-back ensembles on one runner must
+        # not recompile steppers (the stepper object identity is stable).
+        runner = BatchRunner(majority_protocol(), backend="serial")
+        stepper = runner._simulator._stepper
+        assert stepper is not None
+        inputs = _majority_inputs(18)
+        runner.run_many(inputs, repetitions=3, seed=5, max_steps=500)
+        runner.run_many(inputs, repetitions=3, seed=6, max_steps=500)
+        assert runner._simulator._stepper is stepper
+        runner.close()
+
+    def test_mixed_ensemble_parameters_on_one_pool(self):
+        # Per-ensemble parameters (step budgets, recording) travel with each
+        # call, so one initialized pool serves heterogeneous ensembles.
+        protocol = majority_protocol()
+        inputs = _majority_inputs(20)
+        with BatchRunner(protocol, max_workers=2) as runner:
+            plain = runner.run_many(inputs, repetitions=4, seed=3, max_steps=500)
+            recorded = runner.run_many(
+                inputs, repetitions=4, seed=3, max_steps=300,
+                stability_window=10 ** 9,
+                record_trajectory=True, trajectory_capacity=32,
+            )
+        assert all(result.trajectory is None for result in plain)
+        assert all(result.trajectory is not None for result in recorded)
+        serial = BatchRunner(protocol, backend="serial").run_many(
+            inputs, repetitions=4, seed=3, max_steps=300,
+            stability_window=10 ** 9,
+            record_trajectory=True, trajectory_capacity=32,
+        )
+        assert recorded == serial
+
+
 class TestPickling:
     def test_compiled_net_round_trips_without_steppers(self):
         protocol = majority_protocol()

@@ -323,13 +323,26 @@ def _random_protocol(rng):
     return protocol, inputs
 
 
+def _engines_under_test():
+    """The engines of the cross-engine property sweep: always reference and
+    compiled, plus the NumPy engine when it is installed — the three-way
+    equivalence the vectorized engine must uphold."""
+    from repro.simulation.vectorized import numpy_available
+
+    engines = ["reference", "compiled"]
+    if numpy_available():
+        engines.append("numpy")
+    return engines
+
+
 class TestRandomNetEquivalence:
     """Seeded property-style sweep: the engines must agree step for step on
     arbitrary small nets, not just on the five named protocols.  Each case is
     a random net (random pre/post multisets, so non-conservative spawning and
-    dying transitions and '*'-output states all occur) checked across both
-    schedulers with trajectories recorded, so any divergence pinpoints the
-    first differing firing rather than just the final configuration.
+    dying transitions and '*'-output states all occur) checked across every
+    engine (three ways when NumPy is installed) and both schedulers with
+    trajectories recorded, so any divergence pinpoints the first differing
+    firing rather than just the final configuration.
     """
 
     @pytest.mark.parametrize("case", range(25))
@@ -337,22 +350,20 @@ class TestRandomNetEquivalence:
         rng = random.Random(6000 + case)
         protocol, inputs = _random_protocol(rng)
         for seed in (0, 1):
-            reference = Simulator(protocol, engine="reference", seed=seed).run(
-                inputs,
-                max_steps=300,
-                stability_window=50,
-                record_trajectory=True,
-                trajectory_capacity=10 ** 6,
-            )
-            fast = Simulator(protocol, engine="compiled", seed=seed).run(
-                inputs,
-                max_steps=300,
-                stability_window=50,
-                record_trajectory=True,
-                trajectory_capacity=10 ** 6,
-            )
-            assert_same_result(fast, reference)
-            assert fast.trajectory == reference.trajectory
+            results = {
+                engine: Simulator(protocol, engine=engine, seed=seed).run(
+                    inputs,
+                    max_steps=300,
+                    stability_window=50,
+                    record_trajectory=True,
+                    trajectory_capacity=10 ** 6,
+                )
+                for engine in _engines_under_test()
+            }
+            reference = results.pop("reference")
+            for engine, fast in results.items():
+                assert_same_result(fast, reference)
+                assert fast.trajectory == reference.trajectory
 
     @pytest.mark.parametrize("case", range(10))
     def test_random_small_nets_match_under_the_transition_scheduler(self, case):
@@ -362,10 +373,11 @@ class TestRandomNetEquivalence:
         reference = Simulator(
             protocol, scheduler=scheduler, engine="reference", seed=3
         ).run(inputs, max_steps=200, stability_window=50)
-        fast = Simulator(protocol, scheduler=scheduler, engine="compiled", seed=3).run(
-            inputs, max_steps=200, stability_window=50
-        )
-        assert_same_result(fast, reference)
+        for engine in _engines_under_test()[1:]:
+            fast = Simulator(protocol, scheduler=scheduler, engine=engine, seed=3).run(
+                inputs, max_steps=200, stability_window=50
+            )
+            assert_same_result(fast, reference)
 
     @pytest.mark.parametrize("case", range(8))
     def test_random_net_batches_match_across_backends(self, case):

@@ -1,4 +1,6 @@
-"""Tests for the experiment harness and the E1..E9 experiment definitions."""
+"""Tests for the experiment harness and the E1..E11 experiment definitions."""
+
+import random
 
 import pytest
 
@@ -14,6 +16,8 @@ from repro.experiments import (
     experiment_e8_verification,
     experiment_e9_simulation_throughput,
     experiment_e10_parallel_batch,
+    experiment_e11_large_net_throughput,
+    random_interaction_protocol,
     registry,
 )
 
@@ -52,7 +56,7 @@ class TestHarness:
 
     def test_registry_contains_all_experiments(self):
         assert set(registry.ids()) == {
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
         }
 
     def test_registry_unknown_experiment(self):
@@ -190,3 +194,32 @@ class TestExperimentE10:
         assert len(interactions) == 1  # identical ensembles everywhere
         assert all(row["interactions/s"] > 0 for row in table.rows)
         assert by_backend["serial"][0]["speedup"] == 1.0
+
+
+class TestExperimentE11:
+    def test_random_protocol_generator_hits_the_requested_size(self):
+        protocol, inputs = random_interaction_protocol(40, random.Random(1))
+        net = protocol.petri_net
+        assert net.num_transitions == 40
+        assert net.is_conservative()
+        assert net.width == 2
+        # Every state starts populated, so every transition is enabled.
+        assert len(net.enabled_transitions(protocol.initial_configuration(inputs))) == 40
+
+    def test_reduced_sweep_cross_checks_engines(self):
+        # A tiny sweep: the experiment raises internally if any engine
+        # diverges from the compiled trajectory, so a clean table is itself
+        # the equivalence assertion.  The numpy rows appear only when the
+        # optional dependency is installed.
+        table = experiment_e11_large_net_throughput(
+            transition_counts=(20, 40), max_steps=300, reference_up_to=40
+        )
+        by_group = {}
+        for row in table.rows:
+            by_group.setdefault(row["transitions"], {})[row["engine"]] = row
+        assert set(by_group) == {20, 40}
+        for transitions, engines in by_group.items():
+            assert {"reference", "compiled"} <= set(engines)
+            assert engines["compiled"]["speedup"] == 1.0
+            measured = {row["interactions"] for row in engines.values()}
+            assert len(measured) == 1  # identical trajectories everywhere
