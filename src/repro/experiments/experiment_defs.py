@@ -1,4 +1,4 @@
-"""Experiment definitions E1..E8 (see DESIGN.md, "Experiment index").
+"""Experiment definitions E1..E12 (see DESIGN.md, "Experiment index").
 
 Each function builds an :class:`~repro.experiments.harness.ExperimentTable`
 reproducing one of the paper's quantitative claims on laptop-scale instances.
@@ -72,6 +72,7 @@ __all__ = [
     "experiment_e9_simulation_throughput",
     "experiment_e10_parallel_batch",
     "experiment_e11_large_net_throughput",
+    "experiment_e12_parameter_sweep",
     "random_interaction_protocol",
 ]
 
@@ -900,3 +901,82 @@ def experiment_e11_large_net_throughput(
                 }
             )
     return table
+
+
+# ----------------------------------------------------------------------
+# E12 — parameter sweep: grids over (protocol x population x engine)
+# ----------------------------------------------------------------------
+@registry.register("E12")
+def experiment_e12_parameter_sweep(
+    populations: Sequence[int] = (24, 48),
+    engines: Sequence[str] = ("compiled", "reference"),
+    schedulers: Sequence[str] = ("uniform",),
+    repetitions: int = 4,
+    max_steps: int = 20000,
+    stability_window: int = 500,
+    master_seed: int = 2022,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    store_path: Optional[str] = None,
+) -> ExperimentTable:
+    """Convergence statistics of majority/succinct swept over populations and engines.
+
+    Drives the sweep harness (:mod:`repro.sweep`) end to end from the
+    experiment registry: a :class:`~repro.sweep.spec.SweepSpec` over the
+    majority protocol and the succinct counting construction (threshold 8),
+    expanded to its deterministic cell grid and executed through a
+    :class:`~repro.sweep.runner.SweepRunner`.  Engine rows of one grid point
+    share their ensemble seed, so their statistics must agree exactly — the
+    experiment raises on any divergence, extending the E9/E11 cross-engine
+    checks to whole ensembles.
+
+    With ``store_path`` the table is additionally persisted (and resumable)
+    on disk; the default runs against an in-memory store.  ``backend`` and
+    ``max_workers`` select the batch backend exactly as for
+    :class:`~repro.simulation.batch.BatchRunner`.
+    """
+    from ..sweep import MemoryResultStore, SweepRunner, SweepSpec, open_store
+    from ..sweep.runner import to_experiment_table
+    from ..sweep.spec import KEYFIELDS
+
+    spec = SweepSpec(
+        protocols=("majority", ("succinct", {"threshold": 8})),
+        populations=populations,
+        schedulers=schedulers,
+        engines=engines,
+        repetitions=repetitions,
+        master_seed=master_seed,
+        max_steps=max_steps,
+        stability_window=stability_window,
+    )
+    store = open_store(store_path) if store_path else MemoryResultStore()
+    runner = SweepRunner(spec, store, backend=backend, max_workers=max_workers)
+    report = runner.run()
+    if not report.complete:
+        failing = [
+            f"{row['cell']}: {row['error']}"
+            for row in store.rows()
+            if row["status"] == "error"
+        ]
+        raise RuntimeError(
+            f"sweep did not complete ({report.failed} failed): " + "; ".join(failing)
+        )
+    # Engine rows of one grid point ran the same seeds, so their statistics
+    # must be identical — assert it instead of trusting it.
+    statistic_columns = ("runs", "converged", "mean_steps", "median_steps",
+                        "min_steps", "max_steps", "mean_consensus_step")
+    by_point = {}
+    for row in store.rows():
+        point = tuple(row[key] for key in KEYFIELDS if key != "engine")
+        statistics = tuple(row[column] for column in statistic_columns)
+        previous = by_point.setdefault(point, (row["engine"], statistics))
+        if previous[1] != statistics:
+            raise RuntimeError(
+                f"engine {row['engine']!r} diverged from {previous[0]!r} on "
+                f"grid point {point}"
+            )
+    return to_experiment_table(
+        store,
+        experiment_id="E12",
+        title="parameter sweep: majority/succinct over populations and engines",
+    )

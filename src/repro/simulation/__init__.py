@@ -45,7 +45,11 @@ process-backend ensemble) and reused across every subsequent
 protocol pickling and stepper compilation — benchmark E11 measures the
 second call severalfold faster than the old build-per-call behavior.
 Release the pool with ``close()`` or a ``with`` block; a closed runner
-raises on further use.
+raises on further use.  The pool itself is the protocol-agnostic
+:class:`WorkerPool`: its workers cache one initialized simulator per
+(protocol, scheduler, engine) spec, so a single pool can serve ensembles of
+many protocols back to back — the fan-out substrate of the sweep harness
+(:mod:`repro.sweep`).
 
 **Trajectories** (:mod:`~repro.simulation.trajectory`).  Opt-in path
 recording (``record_trajectory=True``): every engine writes the fired
@@ -57,7 +61,7 @@ counts what was dropped, and can replay complete paths on the net.
 statistics.
 """
 
-from .batch import BatchRunner, run_ensemble
+from .batch import BatchRunner, WorkerPool, run_ensemble
 from .compiled import CompiledNet
 from .scheduler import Scheduler, TransitionScheduler, UniformScheduler
 from .simulator import AUTO_VECTORIZE_THRESHOLD, SimulationResult, Simulator, simulate
@@ -82,6 +86,7 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "BatchRunner",
+    "WorkerPool",
     "run_ensemble",
     "Trajectory",
     "DEFAULT_TRAJECTORY_CAPACITY",

@@ -23,15 +23,22 @@ Entry points:
 
 * :func:`run_ensemble` — functional core: run a list of seeds on a backend,
   building (and tearing down) an ephemeral pool per call,
-* :class:`BatchRunner` — a configured handle (protocol + backend knobs) for
-  repeated ensembles, with a **persistent pool**: the worker processes are
-  created once, on the first process-backend call, and the initialized
-  workers (protocol unpickled, steppers / vectorized kernels built) are
-  reused across every subsequent :meth:`~BatchRunner.run_many` /
-  :meth:`~BatchRunner.run_seeds` until :meth:`~BatchRunner.close` — which a
-  ``with`` block calls automatically.  Only per-ensemble parameters travel to
-  the workers after the first call, so repeated ensembles stop paying pool
-  startup, protocol pickling and stepper compilation.
+* :class:`WorkerPool` — the persistent pool itself, decoupled from any one
+  protocol: worker processes are created once and **cache one initialized
+  simulator per distinct (protocol, scheduler, engine) spec**, so a single
+  pool can serve ensembles of many different protocols back to back.  This
+  is the fan-out substrate of the sweep harness (:mod:`repro.sweep`), where
+  one pool executes every cell of a parameter grid,
+* :class:`BatchRunner` — a configured handle (one protocol + backend knobs)
+  for repeated ensembles, built on a private :class:`WorkerPool`: the pool
+  is created on the first process-backend call with its workers pre-warmed
+  on the runner's protocol (unpickled once, steppers / vectorized kernels
+  built once), and reused across every subsequent
+  :meth:`~BatchRunner.run_many` / :meth:`~BatchRunner.run_seeds` until
+  :meth:`~BatchRunner.close` — which a ``with`` block calls automatically.
+  Only per-ensemble parameters travel to the workers after the first call,
+  so repeated ensembles stop paying pool startup, protocol pickling and
+  stepper compilation.
 
 ``backend="serial"`` runs the same code path without processes and is the
 reference ordering; ``backend="process"`` must agree with it exactly
@@ -53,7 +60,7 @@ from .scheduler import Scheduler
 from .simulator import SimulationResult, Simulator
 from .trajectory import DEFAULT_TRAJECTORY_CAPACITY
 
-__all__ = ["BatchRunner", "run_ensemble"]
+__all__ = ["BatchRunner", "WorkerPool", "run_ensemble"]
 
 _BACKENDS = ("serial", "process")
 
@@ -114,38 +121,57 @@ def _plan_chunks(
     return [seeds[i : i + chunk_size] for i in range(0, len(seeds), chunk_size)]
 
 
-#: Per-process simulator installed by the pool initializer.  Built exactly
-#: once per worker — persistent pools reuse it across every ensemble the
-#: runner dispatches, which is the whole point of keeping the pool alive.
-_WORKER_SIMULATOR = None
+#: Per-process simulator cache keyed by the (protocol, scheduler, engine)
+#: spec pickle.  Each worker builds a simulator the first time it sees a spec
+#: and reuses it for every later chunk of that spec — persistent pools keep
+#: this cache alive across ensembles (and, in a sweep, across grid cells of
+#: different protocols), which is the whole point of keeping the pool up.
+_WORKER_SIMULATORS: dict = {}
 
 
-def _initialize_worker(spec_bytes: bytes) -> None:
-    """Pool initializer: unpickle the protocol and build one simulator.
+def _worker_simulator(spec_bytes: bytes) -> Simulator:
+    """The worker's cached simulator for a spec, built on first sight.
 
     The spec travels as an explicit pickle blob (not fork-inherited memory) so
     the pickling path is exercised under every multiprocessing start method,
-    and each worker compiles its steppers exactly once.
+    and each worker compiles the steppers of a given spec exactly once.
     """
-    global _WORKER_SIMULATOR
-    protocol, scheduler, engine = pickle.loads(spec_bytes)
-    _WORKER_SIMULATOR = Simulator(protocol, scheduler=scheduler, engine=engine)
+    simulator = _WORKER_SIMULATORS.get(spec_bytes)
+    if simulator is None:
+        protocol, scheduler, engine = pickle.loads(spec_bytes)
+        simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
+        _WORKER_SIMULATORS[spec_bytes] = simulator
+    return simulator
+
+
+def _initialize_worker(spec_bytes: Optional[bytes]) -> None:
+    """Pool initializer: optionally pre-warm the cache with one spec.
+
+    :class:`BatchRunner` and :func:`run_ensemble` serve a single known
+    protocol, so their workers build its simulator eagerly at pool startup.
+    A bare :class:`WorkerPool` (``spec_bytes=None``) starts cold and builds
+    simulators lazily per task instead — errors from an invalid spec then
+    surface through ``Pool.map`` rather than crash-looping the initializer.
+    """
+    if spec_bytes is not None:
+        _worker_simulator(spec_bytes)
 
 
 def _run_worker_task(task) -> List[SimulationResult]:
-    """Run one chunk of seeds on the worker's persistent simulator.
+    """Run one chunk of seeds on the worker's cached simulator for the spec.
 
-    ``task`` carries the per-ensemble parameters (initial configuration, step
-    budget, recording knobs) alongside the chunk, so one initialized pool can
-    serve ensembles with different parameters.
+    ``task`` carries the spec alongside the per-ensemble parameters (initial
+    configuration, step budget, recording knobs) and the chunk, so one pool
+    can serve ensembles of different protocols and parameters.
     """
-    configuration, seeds, max_steps, stability_window, record, capacity = task
-    return _WORKER_SIMULATOR._run_seeds(
+    spec_bytes, configuration, seeds, max_steps, stability_window, record, capacity = task
+    return _worker_simulator(spec_bytes)._run_seeds(
         configuration, list(seeds), max_steps, stability_window, record, capacity
     )
 
 
 def _make_tasks(
+    spec_bytes: bytes,
     configuration: Configuration,
     chunks: List[Sequence[int]],
     max_steps: int,
@@ -154,10 +180,177 @@ def _make_tasks(
     trajectory_capacity: int,
 ) -> List[tuple]:
     return [
-        (configuration, chunk, max_steps, stability_window, record_trajectory,
-         trajectory_capacity)
+        (spec_bytes, configuration, chunk, max_steps, stability_window,
+         record_trajectory, trajectory_capacity)
         for chunk in chunks
     ]
+
+
+# ----------------------------------------------------------------------
+# The shared persistent pool
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """A persistent worker pool shared across protocols and ensembles.
+
+    The pool engine behind :class:`BatchRunner`, usable on its own wherever
+    *one* set of worker processes should serve ensembles of *many* different
+    protocols — most prominently the sweep harness (:mod:`repro.sweep`),
+    which fans every cell of a (protocol × population × scheduler × engine)
+    grid over a single pool.  Each worker process caches one initialized
+    :class:`~repro.simulation.simulator.Simulator` per distinct
+    ``(protocol, scheduler, engine)`` spec, keyed by the spec's pickle: the
+    first chunk of a spec pays protocol unpickling and stepper compilation,
+    every later chunk of that spec — whichever ensemble or grid cell it
+    belongs to — reuses the cached simulator.
+
+    Results are bit-identical to the serial order for the same seed list:
+    the pool only transports pre-derived seeds and returns chunks in
+    submission order, exactly like :func:`run_ensemble`.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count (default: the ``REPRO_BATCH_DEFAULT_WORKERS``
+        environment override, else the CPU count).
+    start_method:
+        Optional ``multiprocessing`` start method; ``None`` uses the
+        platform default.
+    warm_spec_bytes:
+        Optional pre-pickled ``(protocol, scheduler, engine)`` spec built
+        into every worker at pool startup (used by :class:`BatchRunner`,
+        whose single spec is known up front and validated in the parent —
+        an invalid spec in the initializer would crash-loop the pool).
+        Bare pools start cold and build simulators lazily per task.
+
+    The worker processes are created lazily, on the first :meth:`run_seeds`;
+    release them with :meth:`close` or a ``with`` block.  A closed pool
+    raises :class:`RuntimeError` on further use.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        warm_spec_bytes: Optional[bytes] = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        self.workers = (
+            max_workers if max_workers is not None else _default_max_workers()
+        )
+        self.start_method = start_method
+        self._warm_spec_bytes = warm_spec_bytes
+        self._pool = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called (the pool is spent)."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "WorkerPool is closed; construct a new pool for further ensembles"
+            )
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_initialize_worker,
+                initargs=(self._warm_spec_bytes,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker processes and mark the pool spent (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._closed = True
+
+    def terminate(self) -> None:
+        """Kill the worker processes without waiting for in-flight tasks."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Ensembles
+    # ------------------------------------------------------------------
+    def run_seeds(
+        self,
+        protocol: Protocol,
+        inputs: Configuration,
+        seeds: Sequence[int],
+        scheduler: Optional[Scheduler] = None,
+        engine: str = "auto",
+        max_steps: int = 100000,
+        stability_window: int = 200,
+        chunk_size: Optional[int] = None,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+        spec_bytes: Optional[bytes] = None,
+    ) -> List[SimulationResult]:
+        """Run one repetition per seed over the pool (index-aligned results).
+
+        ``spec_bytes`` optionally supplies the pre-pickled
+        ``(protocol, scheduler, engine)`` spec, letting repeat callers (the
+        :class:`BatchRunner` fast path, the sweep runner's per-cell-group
+        cache) skip re-pickling — and guaranteeing the worker-side cache key
+        is byte-stable across calls.
+        """
+        self._check_open()
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        if record_trajectory and trajectory_capacity < 1:
+            raise ValueError("trajectory_capacity must be at least 1")
+        seeds = list(seeds)
+        configuration = protocol.initial_configuration(inputs)
+        if not seeds:
+            return []
+        if spec_bytes is None:
+            spec_bytes = _dumps_for_workers((protocol, scheduler, engine))
+        # Chunk for the effective parallelism of this ensemble; the pool may
+        # hold more workers than there are seeds.
+        effective = max(1, min(self.workers, len(seeds)))
+        chunks = _plan_chunks(seeds, effective, chunk_size)
+        tasks = _make_tasks(
+            spec_bytes, configuration, chunks, max_steps, stability_window,
+            record_trajectory, trajectory_capacity,
+        )
+        chunk_results = self._ensure_pool().map(_run_worker_task, tasks)
+        return [result for chunk in chunk_results for result in chunk]
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "pool up" if self._pool is not None else "pool pending"
+        )
+        return f"WorkerPool(workers={self.workers}, {state})"
 
 
 # ----------------------------------------------------------------------
@@ -244,22 +437,25 @@ def run_ensemble(
         # surfacing the exception.  A caller-supplied simulator already
         # proves the combination valid.
         Simulator(protocol, scheduler=scheduler, engine=engine)
-    configuration = protocol.initial_configuration(inputs)
     workers = max_workers if max_workers is not None else _default_max_workers()
     workers = max(1, min(workers, len(seeds)))
-    chunks = _plan_chunks(seeds, workers, chunk_size)
-    tasks = _make_tasks(
-        configuration, chunks, max_steps, stability_window,
-        record_trajectory, trajectory_capacity,
-    )
     spec_bytes = _dumps_for_workers((protocol, scheduler, engine))
-
-    context = multiprocessing.get_context(start_method)
-    with context.Pool(
-        processes=workers, initializer=_initialize_worker, initargs=(spec_bytes,)
+    with WorkerPool(
+        max_workers=workers, start_method=start_method, warm_spec_bytes=spec_bytes
     ) as pool:
-        chunk_results = pool.map(_run_worker_task, tasks)
-    return [result for chunk in chunk_results for result in chunk]
+        return pool.run_seeds(
+            protocol,
+            inputs,
+            seeds,
+            scheduler=scheduler,
+            engine=engine,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            chunk_size=chunk_size,
+            record_trajectory=record_trajectory,
+            trajectory_capacity=trajectory_capacity,
+            spec_bytes=spec_bytes,
+        )
 
 
 class BatchRunner:
@@ -319,8 +515,13 @@ class BatchRunner:
         # run_many calls recompile nothing — and process ensembles use it as
         # proof that the worker initializer cannot fail.
         self._simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
+        self._spec_bytes: Optional[bytes] = None
         if backend == "process":
-            _dumps_for_workers((protocol, scheduler))
+            # Pickled once and reused for every ensemble: the transport blob
+            # doubles as the worker-side simulator-cache key, so keeping it
+            # byte-stable guarantees every chunk of every ensemble hits the
+            # same cached simulator.
+            self._spec_bytes = _dumps_for_workers((protocol, scheduler, engine))
         self.protocol = protocol
         self.scheduler = scheduler
         self.engine = engine
@@ -340,28 +541,22 @@ class BatchRunner:
         """True once :meth:`close` has been called (the runner is spent)."""
         return self._closed
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> WorkerPool:
         """The persistent worker pool, created on first use.
 
         Sized from ``max_workers`` (or the environment/CPU default) rather
         than the first ensemble's repetition count, so a later, larger
-        ensemble still gets the full parallelism.
+        ensemble still gets the full parallelism.  The pool's workers are
+        pre-warmed on this runner's spec (the parent simulator built in the
+        constructor proves the spec cannot crash the initializer).
         """
         if self._pool is None:
-            workers = (
-                self.max_workers if self.max_workers is not None
-                else _default_max_workers()
+            self._pool = WorkerPool(
+                max_workers=self.max_workers,
+                start_method=self.start_method,
+                warm_spec_bytes=self._spec_bytes,
             )
-            spec_bytes = _dumps_for_workers(
-                (self.protocol, self.scheduler, self.engine)
-            )
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = context.Pool(
-                processes=workers,
-                initializer=_initialize_worker,
-                initargs=(spec_bytes,),
-            )
-            self._pool_workers = workers
+            self._pool_workers = self._pool.workers
         return self._pool
 
     def close(self) -> None:
@@ -372,7 +567,6 @@ class BatchRunner:
         """
         if self._pool is not None:
             self._pool.close()
-            self._pool.join()
             self._pool = None
             self._pool_workers = None
         self._closed = True
@@ -394,7 +588,6 @@ class BatchRunner:
         if pool is not None:
             try:
                 pool.terminate()
-                pool.join()
             except Exception:
                 pass
 
@@ -452,17 +645,19 @@ class BatchRunner:
                 configuration, seeds, max_steps, stability_window,
                 record_trajectory, trajectory_capacity,
             )
-        pool = self._ensure_pool()
-        # Chunk for the effective parallelism of this ensemble; the pool may
-        # hold more workers than there are seeds.
-        effective = max(1, min(self._pool_workers, len(seeds)))
-        chunks = _plan_chunks(seeds, effective, self.chunk_size)
-        tasks = _make_tasks(
-            configuration, chunks, max_steps, stability_window,
-            record_trajectory, trajectory_capacity,
+        return self._ensure_pool().run_seeds(
+            self.protocol,
+            inputs,
+            seeds,
+            scheduler=self.scheduler,
+            engine=self.engine,
+            max_steps=max_steps,
+            stability_window=stability_window,
+            chunk_size=self.chunk_size,
+            record_trajectory=record_trajectory,
+            trajectory_capacity=trajectory_capacity,
+            spec_bytes=self._spec_bytes,
         )
-        chunk_results = pool.map(_run_worker_task, tasks)
-        return [result for chunk in chunk_results for result in chunk]
 
     def __repr__(self) -> str:
         workers = self.max_workers if self.max_workers is not None else "auto"

@@ -1,0 +1,74 @@
+"""Grid sweeps over the batch subsystem, with resumable result tables.
+
+The scenario-diversity layer on top of the engine stack: declare a grid of
+(protocol × population × scheduler × engine) combinations once, run it over
+the persistent worker pool, and get back an incrementally persisted,
+resumable result table — the PY_EXPERIMENTER pattern, specialized to
+population-protocol ensembles.
+
+* :class:`SweepSpec` (:mod:`repro.sweep.spec`) — the declarative grid: axes,
+  repetitions, master seed, step budget.  Expands deterministically to
+  keyfield-ordered :class:`SweepCell` values, each owning a position-
+  independent seed derived from the master seed and the cell identity.
+* :class:`ResultStore` (:mod:`repro.sweep.store`) — one row per cell with a
+  ``created``/``running``/``done``/``error`` status column, persisted
+  atomically (write-temp-then-rename per flush) as CSV or JSON lines, with
+  torn-tail recovery on open.
+* :class:`SweepRunner` (:mod:`repro.sweep.runner`) — walks the grid, fans
+  each cell's repetitions over one shared persistent
+  :class:`~repro.simulation.batch.WorkerPool` (or a serial simulator cache),
+  flushes the store after every cell, and resumes by skipping ``done`` rows.
+  Tables are bit-identical across backends, worker counts and
+  kill-and-resume cycles.
+* ``python -m repro.sweep`` (:mod:`repro.sweep.cli`) — run/resume/show
+  sweeps from the command line; experiment E12 drives the same machinery
+  from the experiment registry.
+"""
+
+from .runner import SweepReport, SweepRunner, to_experiment_table
+from .spec import (
+    KEYFIELDS,
+    SCHEDULERS,
+    SweepCell,
+    SweepSpec,
+    available_sweep_protocols,
+    build_protocol_and_inputs,
+    register_sweep_protocol,
+)
+from .store import (
+    COLUMNS,
+    STATUS_CREATED,
+    STATUS_DONE,
+    STATUS_ERROR,
+    STATUS_RUNNING,
+    CsvResultStore,
+    JsonlResultStore,
+    MemoryResultStore,
+    ResultStore,
+    StoreCorruptionError,
+    open_store,
+)
+
+__all__ = [
+    "KEYFIELDS",
+    "SCHEDULERS",
+    "COLUMNS",
+    "STATUS_CREATED",
+    "STATUS_RUNNING",
+    "STATUS_DONE",
+    "STATUS_ERROR",
+    "SweepCell",
+    "SweepSpec",
+    "SweepReport",
+    "SweepRunner",
+    "available_sweep_protocols",
+    "build_protocol_and_inputs",
+    "register_sweep_protocol",
+    "to_experiment_table",
+    "ResultStore",
+    "CsvResultStore",
+    "JsonlResultStore",
+    "MemoryResultStore",
+    "StoreCorruptionError",
+    "open_store",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.sweep`` — see :mod:`repro.sweep.cli`."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""Command-line entry point for sweep execution: ``python -m repro.sweep``.
+
+Three subcommands:
+
+``run``
+    Execute (or resume) a sweep: ``--spec`` names a JSON spec file (see
+    ``template``), ``--store`` the result table (``.csv`` or ``.jsonl``).
+    Running against an existing store **resumes** it: ``done`` cells are
+    skipped, everything else is (re)run.  ``--max-cells N`` stops after N
+    cells — the controlled-interruption knob the CI smoke job uses to
+    exercise resume.
+
+``show``
+    Render a store as an aligned plain-text table.
+
+``template``
+    Print an example spec JSON (the axes and their defaults) to adapt.
+
+Examples
+--------
+::
+
+    python -m repro.sweep template > sweep.json
+    python -m repro.sweep run --spec sweep.json --store results.csv --workers 2
+    python -m repro.sweep show --store results.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .runner import SweepRunner, to_experiment_table
+from .spec import SweepSpec, available_sweep_protocols
+from .store import StoreCorruptionError, open_store
+
+__all__ = ["main"]
+
+_TEMPLATE = SweepSpec(
+    protocols=("majority", ("succinct", {"threshold": 8})),
+    populations=(25, 50),
+    schedulers=("uniform",),
+    engines=("compiled", "reference"),
+    repetitions=4,
+    master_seed=2022,
+    max_steps=20000,
+    stability_window=500,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description=(
+            "Grid sweeps of protocol simulations with incremental, resumable "
+            "result tables."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute (or resume) a sweep spec against a store"
+    )
+    run.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="JSON sweep spec (see the 'template' subcommand)",
+    )
+    run.add_argument(
+        "--store", required=True, metavar="FILE",
+        help="result table path (.csv or .jsonl); reused stores are resumed",
+    )
+    run.add_argument(
+        "--backend", choices=("serial", "process"), default="process",
+        help="run cells in-process or over a persistent worker pool",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --backend process (default: CPU count)",
+    )
+    run.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="repetitions per worker task (default: auto)",
+    )
+    run.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after attempting N cells (resume later to finish)",
+    )
+    run.add_argument(
+        "--on-error", choices=("raise", "continue"), default="raise",
+        help="abort on the first failing cell (default) or record and continue",
+    )
+    run.add_argument(
+        "--no-retry-errors", action="store_true",
+        help="on resume, skip cells previously recorded as errors",
+    )
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    show = commands.add_parser("show", help="render a result store as text")
+    show.add_argument("--store", required=True, metavar="FILE")
+
+    commands.add_parser(
+        "template",
+        help=(
+            "print an example spec JSON (available protocols: "
+            + ", ".join(available_sweep_protocols()) + ")"
+        ),
+    )
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = SweepSpec.from_json(handle.read())
+    except FileNotFoundError:
+        print(f"spec file not found: {args.spec}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"invalid sweep spec: {error}", file=sys.stderr)
+        return 2
+    try:
+        store = open_store(args.store)
+    except ValueError as error:  # unknown suffix, or StoreCorruptionError
+        print(f"cannot open store: {error}", file=sys.stderr)
+        return 2
+    if store.recovered_cells:
+        print(
+            "store: dropped torn trailing row "
+            f"({', '.join(filter(None, store.recovered_cells)) or 'unidentified'}); "
+            "the cell will be re-run",
+        )
+    runner = SweepRunner(
+        spec,
+        store,
+        backend=args.backend,
+        max_workers=args.workers,
+        chunk_size=args.chunk_size,
+        retry_errors=not args.no_retry_errors,
+    )
+    progress = None if args.quiet else print
+    try:
+        report = runner.run(
+            max_cells=args.max_cells, on_error=args.on_error, progress=progress
+        )
+    except StoreCorruptionError as error:
+        # Typically: the spec file was edited (axes, master seed) after the
+        # store was written — resuming would mix incompatible tables.
+        print(f"store does not match this spec: {error}", file=sys.stderr)
+        return 2
+    skipped = f"{report.skipped} skipped (already done)"
+    if report.skipped_errors:
+        skipped = (
+            f"{report.skipped} skipped ({report.skipped_errors} of them "
+            "previously errored)"
+        )
+    print(
+        f"sweep: {report.total} cells — {report.executed} executed, "
+        f"{skipped}, {report.failed} failed, "
+        f"{report.remaining} remaining -> {args.store}"
+    )
+    if report.remaining:
+        print("re-run the same command to resume the remaining cells")
+    # Deliberate interruption (--max-cells) is not a failure; error rows —
+    # fresh or skipped over — are.
+    return 1 if (report.failed or report.skipped_errors) else 0
+
+
+def _command_show(args: argparse.Namespace) -> int:
+    try:
+        store = open_store(args.store)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if len(store) == 0:
+        print(f"store {args.store} is empty")
+        return 0
+    print(to_experiment_table(store, experiment_id="SWEEP").render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "show":
+        return _command_show(args)
+    print(_TEMPLATE.to_json())
+    return 0

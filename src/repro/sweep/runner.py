@@ -1,0 +1,368 @@
+"""Resumable execution of sweep grids over the batch subsystem.
+
+The :class:`SweepRunner` walks a :class:`~repro.sweep.spec.SweepSpec`'s cell
+grid in its deterministic order and runs one seeded ensemble per cell:
+
+* every cell is registered in the :class:`~repro.sweep.store.ResultStore` up
+  front (status ``created``), and the store is flushed incrementally — before
+  a cell runs (``running``) and after it completes (``done`` / ``error``) —
+  so a killed sweep leaves a consistent, resumable table behind;
+* **resume is the default**: cells already ``done`` in the store are skipped,
+  everything else (``created``, a stale ``running`` from a killed run, and —
+  unless ``retry_errors=False`` — ``error``) is (re)run;
+* under ``backend="process"`` every cell fans its repetitions over **one
+  shared persistent** :class:`~repro.simulation.batch.WorkerPool`: worker
+  processes are created once per :meth:`SweepRunner.run` and cache one
+  initialized simulator per (protocol, scheduler, engine) spec, so the grid
+  pays protocol pickling and stepper compilation once per spec per worker,
+  not once per cell;
+* results are backend-independent **by construction**: each cell's ensemble
+  seeds derive from the spec's master seed and the cell identity alone
+  (see :meth:`~repro.sweep.spec.SweepSpec.cell_seed`), and the batch layer
+  guarantees serial/process bit-identity for a fixed seed list — so the same
+  spec produces byte-identical store files serially, in parallel, straight
+  through, or across any kill-and-resume cycle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.configuration import Configuration
+from ..core.protocol import Protocol
+from ..simulation.batch import WorkerPool, _dumps_for_workers
+from ..simulation.scheduler import Scheduler
+from ..simulation.simulator import SimulationResult, Simulator
+from ..simulation.statistics import summarize_runs
+from ..simulation.trajectory import DEFAULT_TRAJECTORY_CAPACITY
+from .spec import SweepCell, SweepSpec, build_inputs_for
+from .store import STATUS_DONE, STATUS_ERROR, ResultStore
+
+__all__ = ["SweepReport", "SweepRunner", "to_experiment_table"]
+
+_BACKENDS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """What one :meth:`SweepRunner.run` call did to the grid."""
+
+    #: Cells in the grid.
+    total: int
+    #: Cells that completed successfully during this call.
+    executed: int
+    #: Cells skipped because the store already had them ``done`` (or
+    #: ``error`` with ``retry_errors=False`` — counted separately below).
+    skipped: int
+    #: Cells that raised during this call (recorded as ``error`` rows).
+    failed: int
+    #: The subset of ``skipped`` that was skipped as a *previous* ``error``
+    #: (``retry_errors=False``) — still failures, just not this call's.
+    skipped_errors: int = 0
+
+    @property
+    def remaining(self) -> int:
+        """Cells not reached (an interrupted run, e.g. via ``max_cells``)."""
+        return self.total - self.executed - self.skipped - self.failed
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the grid is actually ``done``.
+
+        False while cells remain, and also when any cell failed — in this
+        call or in the run a ``retry_errors=False`` resume skipped over.
+        """
+        return self.failed == 0 and self.skipped_errors == 0 and self.remaining == 0
+
+
+class SweepRunner:
+    """Run a sweep spec against a result store, resumably.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    store:
+        Where rows are persisted.  Reusing a store from an earlier (possibly
+        interrupted) run of the **same** spec resumes it; a store written by
+        a different spec or master seed is rejected at registration time.
+    backend:
+        ``"process"`` (default) fans each cell's repetitions over a shared
+        persistent :class:`~repro.simulation.batch.WorkerPool`;
+        ``"serial"`` runs everything in-process, reusing one simulator per
+        (protocol, scheduler, engine) spec across cells.
+    max_workers, chunk_size, start_method:
+        Pool knobs, as for :class:`~repro.simulation.batch.BatchRunner`.
+        Ignored under ``backend="serial"``.
+    retry_errors:
+        Whether resumption re-runs cells recorded as ``error`` (default) or
+        skips them.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: ResultStore,
+        backend: str = "process",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
+        retry_errors: bool = True,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r} (expected one of {_BACKENDS})"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be at least 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
+        self.spec = spec
+        self.store = store
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.retry_errors = retry_errors
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cells: Optional[int] = None,
+        on_error: str = "raise",
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> SweepReport:
+        """Execute the grid (or what remains of it) and return a report.
+
+        Parameters
+        ----------
+        max_cells:
+            Stop after attempting this many cells (completed or failed) —
+            the controlled-interruption knob used by the resume tests and
+            the CI smoke job.  Skipped ``done`` cells do not count.
+        on_error:
+            ``"raise"`` (default) persists the ``error`` row, then re-raises
+            the cell's exception; ``"continue"`` records it and moves on —
+            the failure stays visible in the table and the report.
+        progress:
+            Optional callback receiving one human-readable line per cell.
+        """
+        if on_error not in ("raise", "continue"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'continue', got {on_error!r}"
+            )
+        if max_cells is not None and max_cells < 0:
+            raise ValueError(f"max_cells must be non-negative, got {max_cells}")
+
+        cells = self.spec.cells()
+        for cell in cells:
+            self.store.ensure(
+                cell.cell_id, cell.keyfields(), self.spec.cell_seed(cell)
+            )
+        self.store.flush()
+
+        executed = failed = skipped = skipped_errors = attempted = 0
+        caches = _CellCaches()
+        pool: Optional[WorkerPool] = None
+        try:
+            for index, cell in enumerate(cells):
+                status = self.store.status(cell.cell_id)
+                if status == STATUS_DONE or (
+                    status == STATUS_ERROR and not self.retry_errors
+                ):
+                    skipped += 1
+                    if status == STATUS_ERROR:
+                        skipped_errors += 1
+                    if progress is not None:
+                        progress(
+                            f"[{index + 1}/{len(cells)}] {cell.cell_id} "
+                            f"skipped ({status})"
+                        )
+                    continue
+                if max_cells is not None and attempted >= max_cells:
+                    break
+                attempted += 1
+                self.store.mark_running(cell.cell_id)
+                self.store.flush()
+                try:
+                    if self.backend == "process" and pool is None:
+                        pool = WorkerPool(
+                            max_workers=self.max_workers,
+                            start_method=self.start_method,
+                        )
+                    results = self._run_cell(cell, caches, pool)
+                except Exception as error:
+                    failed += 1
+                    self.store.mark_error(
+                        cell.cell_id, f"{type(error).__name__}: {error}"
+                    )
+                    self.store.flush()
+                    if progress is not None:
+                        progress(
+                            f"[{index + 1}/{len(cells)}] {cell.cell_id} "
+                            f"ERROR: {error}"
+                        )
+                    if on_error == "raise":
+                        raise
+                else:
+                    executed += 1
+                    statistics = summarize_runs(results)
+                    self.store.mark_done(cell.cell_id, statistics)
+                    self.store.flush()
+                    if progress is not None:
+                        progress(
+                            f"[{index + 1}/{len(cells)}] {cell.cell_id} done "
+                            f"(converged {statistics.converged}/{statistics.runs}, "
+                            f"mean steps {statistics.mean_steps:.1f})"
+                        )
+        finally:
+            if pool is not None:
+                pool.close()
+        return SweepReport(
+            total=len(cells), executed=executed, skipped=skipped, failed=failed,
+            skipped_errors=skipped_errors,
+        )
+
+    # ------------------------------------------------------------------
+    # One cell
+    # ------------------------------------------------------------------
+    def _run_cell(
+        self,
+        cell: SweepCell,
+        caches: "_CellCaches",
+        pool: Optional[WorkerPool],
+    ) -> List[SimulationResult]:
+        protocol = caches.protocol(cell)
+        inputs = caches.inputs(cell)
+        scheduler = caches.scheduler(cell)
+        seeds = self._cell_run_seeds(cell)
+        if self.backend == "serial":
+            simulator = caches.serial_simulator(cell, protocol, scheduler)
+            configuration = protocol.initial_configuration(inputs)
+            return simulator._run_seeds(
+                configuration, seeds, self.spec.max_steps,
+                self.spec.stability_window, False, DEFAULT_TRAJECTORY_CAPACITY,
+            )
+        return pool.run_seeds(
+            protocol,
+            inputs,
+            seeds,
+            scheduler=scheduler,
+            engine=cell.engine,
+            max_steps=self.spec.max_steps,
+            stability_window=self.spec.stability_window,
+            chunk_size=self.chunk_size,
+            spec_bytes=caches.spec_bytes(cell, protocol, scheduler),
+        )
+
+    def _cell_run_seeds(self, cell: SweepCell) -> List[int]:
+        """The cell's per-repetition seeds.
+
+        Derived exactly like ``BatchRunner.run_many(seed=cell_seed)`` derives
+        them, so a cell's ensemble can be reproduced outside the sweep with
+        the cell seed alone.
+        """
+        master = random.Random(self.spec.cell_seed(cell))
+        return [master.getrandbits(64) for _ in range(self.spec.repetitions)]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepRunner({len(self.spec)} cells, backend={self.backend!r}, "
+            f"store={self.store!r})"
+        )
+
+
+class _CellCaches:
+    """Per-run caches shared across cells.
+
+    One built protocol per (protocol, params) axis value — so every
+    population/scheduler/engine cell of that protocol reuses its compiled
+    caches — plus one scheduler instance per kind, and per
+    (protocol, params, scheduler, engine) spec either one serial simulator
+    or one transport pickle (the worker-side simulator-cache key, kept
+    byte-stable so every cell of a spec hits the same cached simulator in
+    the pool workers).
+    """
+
+    def __init__(self):
+        self._protocols: Dict[Tuple[str, str], Protocol] = {}
+        self._inputs: Dict[Tuple[str, str, int], Configuration] = {}
+        self._schedulers: Dict[str, Scheduler] = {}
+        self._serial: Dict[Tuple[str, str, str, str], Simulator] = {}
+        self._spec_bytes: Dict[Tuple[str, str, str, str], bytes] = {}
+
+    def protocol(self, cell: SweepCell) -> Protocol:
+        key = (cell.protocol, cell.params_json)
+        protocol = self._protocols.get(key)
+        if protocol is None:
+            protocol, inputs = cell.build()
+            self._protocols[key] = protocol
+            self._inputs[key + (cell.population,)] = inputs
+        return protocol
+
+    def inputs(self, cell: SweepCell) -> Configuration:
+        key = (cell.protocol, cell.params_json, cell.population)
+        inputs = self._inputs.get(key)
+        if inputs is None:
+            inputs = build_inputs_for(
+                cell.protocol, self.protocol(cell), cell.population, cell.params
+            )
+            self._inputs[key] = inputs
+        return inputs
+
+    def scheduler(self, cell: SweepCell) -> Scheduler:
+        scheduler = self._schedulers.get(cell.scheduler)
+        if scheduler is None:
+            scheduler = cell.make_scheduler()
+            self._schedulers[cell.scheduler] = scheduler
+        return scheduler
+
+    def _spec_key(self, cell: SweepCell) -> Tuple[str, str, str, str]:
+        return (cell.protocol, cell.params_json, cell.scheduler, cell.engine)
+
+    def serial_simulator(
+        self, cell: SweepCell, protocol: Protocol, scheduler: Scheduler
+    ) -> Simulator:
+        key = self._spec_key(cell)
+        simulator = self._serial.get(key)
+        if simulator is None:
+            simulator = Simulator(protocol, scheduler=scheduler, engine=cell.engine)
+            self._serial[key] = simulator
+        return simulator
+
+    def spec_bytes(
+        self, cell: SweepCell, protocol: Protocol, scheduler: Scheduler
+    ) -> bytes:
+        key = self._spec_key(cell)
+        payload = self._spec_bytes.get(key)
+        if payload is None:
+            payload = _dumps_for_workers((protocol, scheduler, cell.engine))
+            self._spec_bytes[key] = payload
+        return payload
+
+
+def to_experiment_table(
+    store: ResultStore,
+    experiment_id: str = "SWEEP",
+    title: Optional[str] = None,
+):
+    """Render a store as an :class:`~repro.experiments.harness.ExperimentTable`.
+
+    The bridge between the sweep subsystem and the experiment harness: E12
+    returns one, and the CLI's ``show`` command renders one.
+    """
+    from ..experiments.harness import ExperimentTable
+    from .store import COLUMNS
+
+    table = ExperimentTable(
+        experiment_id=experiment_id,
+        title=title or "sweep results",
+        columns=list(COLUMNS),
+    )
+    for row in store.rows():
+        table.add_row(**row)
+    return table

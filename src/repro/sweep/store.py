@@ -1,0 +1,451 @@
+"""Resumable on-disk result tables for sweep runs.
+
+One row per grid cell, py_experimenter style: the keyfields identify the
+cell, a ``status`` column tracks its lifecycle (``created`` → ``running`` →
+``done`` / ``error``), and the result columns carry the cell's convergence
+statistics once it completes.  The runner persists the table **incrementally**
+— after registering the grid and after every cell — so a killed sweep can be
+resumed by reopening the store and skipping the ``done`` rows.
+
+Two interchangeable file formats (:class:`CsvResultStore`,
+:class:`JsonlResultStore`) plus an in-memory store for tests and throwaway
+experiment runs.  Both file stores share the durability discipline:
+
+* **crash-safe flushes** — every flush writes the complete table to a
+  temporary file in the same directory, fsyncs it, and atomically renames it
+  over the store path, so the on-disk table is always a complete snapshot
+  (never a half-written one), and
+* **torn-tail recovery on open** — if the file nevertheless ends mid-row
+  (an external writer, a non-atomic copy, a filesystem that lied about the
+  rename), the trailing partial row is detected, dropped, and reported via
+  :attr:`ResultStore.recovered_cells`; the runner then re-runs that cell
+  instead of silently loading garbage.  Corruption anywhere *other* than the
+  final row is not plausibly a torn write and raises
+  :class:`StoreCorruptionError` instead.
+
+Rows are written in cell-registration order (= the spec's deterministic grid
+order) and every value round-trips the format losslessly, so two sweeps of
+the same spec — serial or process-parallel, straight through or killed and
+resumed — produce **byte-identical** store files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .spec import KEYFIELDS
+
+__all__ = [
+    "COLUMNS",
+    "STATUS_CREATED",
+    "STATUS_DONE",
+    "STATUS_ERROR",
+    "STATUS_RUNNING",
+    "CsvResultStore",
+    "JsonlResultStore",
+    "MemoryResultStore",
+    "ResultStore",
+    "StoreCorruptionError",
+    "open_store",
+]
+
+STATUS_CREATED = "created"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_ERROR = "error"
+_STATUSES = (STATUS_CREATED, STATUS_RUNNING, STATUS_DONE, STATUS_ERROR)
+
+#: The fixed column set: the cell identity, its keyfields, the seed and
+#: status, then the convergence statistics (None until the cell is done).
+COLUMNS = (
+    ("cell",) + KEYFIELDS
+    + (
+        "seed",
+        "status",
+        "runs",
+        "converged",
+        "convergence_rate",
+        "mean_steps",
+        "median_steps",
+        "min_steps",
+        "max_steps",
+        "mean_consensus_step",
+        "error",
+    )
+)
+
+_INT_COLUMNS = frozenset(
+    {"population", "seed", "runs", "converged", "min_steps", "max_steps"}
+)
+_FLOAT_COLUMNS = frozenset(
+    {"convergence_rate", "mean_steps", "median_steps", "mean_consensus_step"}
+)
+#: Statistic/diagnostic columns cleared when a cell (re)starts.
+_RESULT_COLUMNS = (
+    "runs", "converged", "convergence_rate", "mean_steps", "median_steps",
+    "min_steps", "max_steps", "mean_consensus_step", "error",
+)
+
+
+class StoreCorruptionError(ValueError):
+    """The store file is damaged beyond the recoverable torn-tail case."""
+
+
+def open_store(path: Union[str, Path]) -> "ResultStore":
+    """Open (or create) a file-backed store, picking the format by suffix.
+
+    ``.csv`` maps to :class:`CsvResultStore`; ``.jsonl`` / ``.ndjson`` /
+    ``.json`` to :class:`JsonlResultStore`.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return CsvResultStore(path)
+    if suffix in (".jsonl", ".ndjson", ".json"):
+        return JsonlResultStore(path)
+    raise ValueError(
+        f"cannot infer a store format from {path.name!r}; "
+        "use a .csv or .jsonl path (or construct a store class directly)"
+    )
+
+
+class ResultStore:
+    """Base class: an ordered map cell id → row with persistence hooks.
+
+    Subclasses implement :meth:`_render` (the full table as text) and
+    :meth:`_parse` (text back into rows + the recoverable torn tail).
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        self._rows: Dict[str, Dict[str, object]] = {}
+        #: Cell ids whose trailing rows were dropped as torn on load; the
+        #: runner re-runs them (and tests assert they were noticed).
+        self.recovered_cells: Tuple[str, ...] = ()
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # Row lifecycle
+    # ------------------------------------------------------------------
+    def ensure(
+        self, cell_id: str, keyfields: Mapping[str, object], seed: int
+    ) -> bool:
+        """Register a cell with status ``created`` unless already present.
+
+        A cell that is already present must agree on its keyfields and seed:
+        a mismatch means the store belongs to a *different* spec or master
+        seed, and resuming would mix incompatible tables — raise instead.
+        Returns True when the row was newly created.
+        """
+        existing = self._rows.get(cell_id)
+        if existing is not None:
+            for key, value in keyfields.items():
+                if existing.get(key) != value:
+                    raise StoreCorruptionError(
+                        f"store row for {cell_id!r} disagrees on {key!r} "
+                        f"({existing.get(key)!r} != {value!r}); this store was "
+                        "written by a different sweep spec"
+                    )
+            if existing.get("seed") != seed:
+                raise StoreCorruptionError(
+                    f"store row for {cell_id!r} carries seed "
+                    f"{existing.get('seed')!r}, expected {seed}; this store "
+                    "was written with a different master seed"
+                )
+            return False
+        row: Dict[str, object] = {column: None for column in COLUMNS}
+        row.update(keyfields)
+        row["cell"] = cell_id
+        row["seed"] = seed
+        row["status"] = STATUS_CREATED
+        self._rows[cell_id] = row
+        return True
+
+    def mark_running(self, cell_id: str) -> None:
+        """Flag a cell as in flight, clearing any stale results."""
+        row = self._row(cell_id)
+        row["status"] = STATUS_RUNNING
+        for column in _RESULT_COLUMNS:
+            row[column] = None
+
+    def mark_done(self, cell_id: str, statistics) -> None:
+        """Record a completed cell's convergence statistics.
+
+        ``statistics`` is a
+        :class:`~repro.simulation.statistics.ConvergenceStatistics`.  Float
+        columns are coerced to ``float`` (``statistics.median`` can be an
+        int) so the rendered value is format-stable across resume cycles.
+        """
+        row = self._row(cell_id)
+        row["status"] = STATUS_DONE
+        row["error"] = None
+        row["runs"] = int(statistics.runs)
+        row["converged"] = int(statistics.converged)
+        row["convergence_rate"] = float(statistics.convergence_rate)
+        row["mean_steps"] = _optional_float(statistics.mean_steps)
+        row["median_steps"] = _optional_float(statistics.median_steps)
+        row["min_steps"] = _optional_int(statistics.min_steps)
+        row["max_steps"] = _optional_int(statistics.max_steps)
+        row["mean_consensus_step"] = _optional_float(statistics.mean_consensus_step)
+
+    def mark_error(self, cell_id: str, message: str) -> None:
+        """Record a failed cell (kept for inspection; retried on resume)."""
+        row = self._row(cell_id)
+        row["status"] = STATUS_ERROR
+        for column in _RESULT_COLUMNS:
+            row[column] = None
+        row["error"] = str(message)
+
+    def _row(self, cell_id: str) -> Dict[str, object]:
+        row = self._rows.get(cell_id)
+        if row is None:
+            raise KeyError(f"unknown cell {cell_id!r}; call ensure() first")
+        return row
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def status(self, cell_id: str) -> Optional[str]:
+        """The cell's status, or None if the store has no row for it."""
+        row = self._rows.get(cell_id)
+        return None if row is None else row["status"]
+
+    def get(self, cell_id: str) -> Optional[Dict[str, object]]:
+        """A copy of the cell's row, or None."""
+        row = self._rows.get(cell_id)
+        return None if row is None else dict(row)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Copies of all rows, in registration order."""
+        return [dict(row) for row in self._rows.values()]
+
+    def status_counts(self) -> Dict[str, int]:
+        """How many rows hold each status (absent statuses omitted)."""
+        counts: Dict[str, int] = {}
+        for row in self._rows.values():
+            status = row["status"]
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._rows
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Atomically persist the full table: write-temp, fsync, rename.
+
+        The store file is therefore always a complete snapshot; a crash
+        between flushes loses at most the cells completed since the last
+        flush (which resume simply re-runs), never the file's integrity.
+        """
+        if self.path is None:
+            return
+        rendered = self._render(list(self._rows.values()))
+        temporary = self.path.with_name(self.path.name + ".tmp")
+        with open(temporary, "w", encoding="utf-8", newline="") as handle:
+            handle.write(rendered)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temporary, self.path)
+
+    def _load(self) -> None:
+        text = self.path.read_text(encoding="utf-8")
+        rows, recovered = self._parse(text)
+        self._rows = {}
+        for row in rows:
+            status = row.get("status")
+            if status not in _STATUSES:
+                raise StoreCorruptionError(
+                    f"{self.path}: row for {row.get('cell')!r} carries invalid "
+                    f"status {status!r}"
+                )
+            cell_id = row.get("cell")
+            if not cell_id:
+                raise StoreCorruptionError(f"{self.path}: row without a cell id")
+            if cell_id in self._rows:
+                raise StoreCorruptionError(
+                    f"{self.path}: duplicate row for cell {cell_id!r}"
+                )
+            self._rows[cell_id] = {column: row.get(column) for column in COLUMNS}
+        self.recovered_cells = tuple(recovered)
+
+    # Subclass hooks -----------------------------------------------------
+    def _render(self, rows: Sequence[Mapping[str, object]]) -> str:
+        raise NotImplementedError
+
+    def _parse(
+        self, text: str
+    ) -> Tuple[List[Dict[str, object]], List[str]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        location = "memory" if self.path is None else str(self.path)
+        counts = ", ".join(
+            f"{status}={count}" for status, count in sorted(self.status_counts().items())
+        )
+        return f"{type(self).__name__}({location}, rows={len(self)}{', ' + counts if counts else ''})"
+
+
+class MemoryResultStore(ResultStore):
+    """An in-memory store: same interface, no persistence (flush is a no-op)."""
+
+    def __init__(self):
+        super().__init__(path=None)
+
+
+def _optional_float(value) -> Optional[float]:
+    return None if value is None else float(value)
+
+
+def _optional_int(value) -> Optional[int]:
+    return None if value is None else int(value)
+
+
+def _parse_typed(column: str, text: Optional[str], context: str):
+    """Decode one CSV field back into its typed value ('' means None)."""
+    if text is None or text == "":
+        return None
+    try:
+        if column in _INT_COLUMNS:
+            return int(text)
+        if column in _FLOAT_COLUMNS:
+            return float(text)
+    except ValueError:
+        raise StoreCorruptionError(
+            f"{context}: column {column!r} holds non-numeric value {text!r}"
+        ) from None
+    return text
+
+
+class CsvResultStore(ResultStore):
+    """A CSV-backed store: a header row, then one row per cell.
+
+    ``None`` renders as the empty field; ints and floats round-trip through
+    ``repr`` so repeated load/flush cycles are byte-stable.
+    """
+
+    def _render(self, rows: Sequence[Mapping[str, object]]) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(COLUMNS)
+        for row in rows:
+            writer.writerow(
+                "" if row[column] is None else str(row[column]) for column in COLUMNS
+            )
+        return buffer.getvalue()
+
+    def _parse(self, text: str) -> Tuple[List[Dict[str, object]], List[str]]:
+        recovered: List[str] = []
+        if text and not text.endswith("\n"):
+            # A torn tail: the final line was cut mid-write.  Drop it (the
+            # cell id, when recognizable, is reported for re-running).
+            cut = text.rfind("\n") + 1
+            recovered.append(_first_csv_field(text[cut:]))
+            text = text[:cut]
+        records = list(csv.reader(io.StringIO(text)))
+        if not records:
+            return [], recovered
+        header = records[0]
+        if tuple(header) != COLUMNS:
+            raise StoreCorruptionError(
+                f"{self.path}: header {header!r} does not match the expected "
+                f"column set; was this file written by a different version?"
+            )
+        rows: List[Dict[str, object]] = []
+        for position, record in enumerate(records[1:], start=2):
+            is_last = position == len(records)
+            if len(record) != len(COLUMNS):
+                if is_last:
+                    recovered.append(record[0] if record else "")
+                    continue
+                raise StoreCorruptionError(
+                    f"{self.path}: line {position} has {len(record)} fields, "
+                    f"expected {len(COLUMNS)}"
+                )
+            try:
+                row = {
+                    column: _parse_typed(column, value, f"{self.path}: line {position}")
+                    for column, value in zip(COLUMNS, record)
+                }
+            except StoreCorruptionError:
+                if is_last:
+                    recovered.append(record[0])
+                    continue
+                raise
+            rows.append(row)
+        return rows, recovered
+
+
+def _first_csv_field(line: str) -> str:
+    """Best-effort cell id of a torn CSV line (for the recovery report)."""
+    try:
+        parsed = next(csv.reader(io.StringIO(line)), None)
+    except csv.Error:
+        return ""
+    return parsed[0] if parsed else ""
+
+
+class JsonlResultStore(ResultStore):
+    """A JSON-lines store: one JSON object per cell row."""
+
+    def _render(self, rows: Sequence[Mapping[str, object]]) -> str:
+        lines = [
+            json.dumps(
+                {column: row[column] for column in COLUMNS},
+                sort_keys=False,
+                separators=(",", ":"),
+            )
+            for row in rows
+        ]
+        return "".join(line + "\n" for line in lines)
+
+    def _parse(self, text: str) -> Tuple[List[Dict[str, object]], List[str]]:
+        recovered: List[str] = []
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        else:
+            # No trailing newline: the final line is a torn tail.
+            torn = lines.pop() if lines else ""
+            recovered.append(_json_cell_hint(torn))
+        rows: List[Dict[str, object]] = []
+        for position, line in enumerate(lines, start=1):
+            is_last = position == len(lines)
+            try:
+                data = json.loads(line)
+                if not isinstance(data, dict):
+                    raise ValueError("row is not a JSON object")
+                missing = set(COLUMNS) - set(data)
+                if missing:
+                    raise ValueError(f"row is missing columns {sorted(missing)}")
+            except ValueError as error:
+                if is_last:
+                    recovered.append(_json_cell_hint(line))
+                    continue
+                raise StoreCorruptionError(
+                    f"{self.path}: line {position}: {error}"
+                ) from None
+            rows.append(data)
+        return rows, recovered
+
+
+def _json_cell_hint(line: str) -> str:
+    """Best-effort cell id of a torn JSONL line (for the recovery report)."""
+    marker = '"cell":"'
+    start = line.find(marker)
+    if start < 0:
+        return ""
+    start += len(marker)
+    end = line.find('"', start)
+    return line[start:end] if end > start else ""

@@ -17,6 +17,7 @@ from repro.experiments import (
     experiment_e9_simulation_throughput,
     experiment_e10_parallel_batch,
     experiment_e11_large_net_throughput,
+    experiment_e12_parameter_sweep,
     random_interaction_protocol,
     registry,
 )
@@ -57,6 +58,7 @@ class TestHarness:
     def test_registry_contains_all_experiments(self):
         assert set(registry.ids()) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+            "E12",
         }
 
     def test_registry_unknown_experiment(self):
@@ -223,3 +225,28 @@ class TestExperimentE11:
             assert engines["compiled"]["speedup"] == 1.0
             measured = {row["interactions"] for row in engines.values()}
             assert len(measured) == 1  # identical trajectories everywhere
+
+
+class TestExperimentE12:
+    def test_reduced_sweep_agrees_across_engines_and_persists(self, tmp_path):
+        # A tiny grid through the sweep harness: the experiment raises
+        # internally if engine rows of one grid point report different
+        # ensemble statistics, so a returned table is itself the agreement
+        # assertion.  With store_path the table is also persisted on disk.
+        store_path = tmp_path / "e12.csv"
+        table = experiment_e12_parameter_sweep(
+            populations=(12, 16), repetitions=2, max_steps=1500,
+            stability_window=200, store_path=str(store_path),
+        )
+        assert len(table) == 2 * 2 * 2  # protocols x populations x engines
+        assert set(table.column("status")) == {"done"}
+        assert store_path.exists()
+        # Resuming the same experiment against the persisted store skips
+        # every cell and returns the identical table.
+        first_bytes = store_path.read_bytes()
+        again = experiment_e12_parameter_sweep(
+            populations=(12, 16), repetitions=2, max_steps=1500,
+            stability_window=200, store_path=str(store_path),
+        )
+        assert store_path.read_bytes() == first_bytes
+        assert again.rows == table.rows

@@ -1,0 +1,130 @@
+"""Direct tests for repro.simulation.statistics edge cases.
+
+The statistics module was previously exercised only through the experiment
+runners; these tests pin its behavior on the boundary cases the sweep
+harness now depends on (single-run summaries feed one-repetition cells,
+max-steps-exhausted runs mix with converged ones in tight-budget sweeps).
+"""
+
+import pytest
+
+from repro.core import Configuration
+from repro.core.predicates import ThresholdPredicate
+from repro.simulation import (
+    ConvergenceStatistics,
+    SimulationResult,
+    accuracy_against_predicate,
+    interactions_per_second,
+    summarize_runs,
+)
+
+
+def _result(steps, consensus=None, consensus_step=None, terminated=False):
+    """A synthetic SimulationResult (the summary only reads these fields)."""
+    empty = Configuration({})
+    return SimulationResult(
+        initial=empty,
+        final=empty,
+        steps=steps,
+        consensus=consensus,
+        consensus_step=consensus_step,
+        terminated=terminated,
+        interactions_sampled=steps,
+    )
+
+
+class TestSummarizeRuns:
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            summarize_runs([])
+
+    def test_single_converged_run(self):
+        statistics = summarize_runs([_result(40, consensus=1, consensus_step=25)])
+        assert statistics.runs == 1
+        assert statistics.converged == 1
+        assert statistics.convergence_rate == 1.0
+        # With one run every aggregate collapses to that run's value.
+        assert statistics.mean_steps == 40.0
+        assert statistics.median_steps == 40
+        assert statistics.min_steps == 40
+        assert statistics.max_steps == 40
+        assert statistics.mean_consensus_step == 25.0
+
+    def test_single_unconverged_run(self):
+        # A lone max-steps-exhausted run: step statistics are still defined,
+        # the consensus-step average is not.
+        statistics = summarize_runs([_result(1000)])
+        assert statistics.runs == 1
+        assert statistics.converged == 0
+        assert statistics.convergence_rate == 0.0
+        assert statistics.mean_steps == 1000.0
+        assert statistics.mean_consensus_step is None
+
+    def test_mixed_converged_and_exhausted_runs(self):
+        # Two converged runs and two that ran out of budget: step statistics
+        # aggregate over all four, consensus statistics over the converged
+        # two only — exhausted runs must not drag the consensus average.
+        results = [
+            _result(100, consensus=1, consensus_step=60),
+            _result(5000),  # budget exhausted, no consensus
+            _result(200, consensus=0, consensus_step=140),
+            _result(5000),  # budget exhausted, no consensus
+        ]
+        statistics = summarize_runs(results)
+        assert statistics.runs == 4
+        assert statistics.converged == 2
+        assert statistics.convergence_rate == 0.5
+        assert statistics.mean_steps == pytest.approx((100 + 5000 + 200 + 5000) / 4)
+        assert statistics.median_steps == pytest.approx((200 + 5000) / 2)
+        assert statistics.min_steps == 100
+        assert statistics.max_steps == 5000
+        assert statistics.mean_consensus_step == pytest.approx((60 + 140) / 2)
+
+    def test_terminal_runs_count_as_converged(self):
+        # A terminated run with a consensus at step 0 (a single-agent
+        # population, say) is converged with consensus_step 0, which must
+        # survive the truthiness-unfriendly value 0.
+        statistics = summarize_runs(
+            [_result(0, consensus=0, consensus_step=0, terminated=True)]
+        )
+        assert statistics.converged == 1
+        assert statistics.mean_consensus_step == 0.0
+
+    def test_convergence_rate_of_zero_runs_is_zero(self):
+        # The dataclass itself (not summarize_runs, which rejects empty
+        # batches) defines the zero-run rate as 0.0 rather than dividing.
+        statistics = ConvergenceStatistics(
+            runs=0, converged=0, mean_steps=None, median_steps=None,
+            max_steps=None, min_steps=None, mean_consensus_step=None,
+        )
+        assert statistics.convergence_rate == 0.0
+
+
+class TestAccuracyAgainstPredicate:
+    def _predicate(self):
+        return ThresholdPredicate({"x": 1}, 1)  # x >= 1
+
+    def test_empty_results_score_zero(self):
+        assert accuracy_against_predicate([], self._predicate(), Configuration({"x": 2})) == 0.0
+
+    def test_unconverged_runs_count_as_incorrect(self):
+        inputs = Configuration({"x": 2})  # predicate is true -> expected 1
+        results = [
+            _result(10, consensus=1, consensus_step=5),
+            _result(10),  # no consensus: incorrect
+            _result(10, consensus=0, consensus_step=5),  # wrong consensus
+            _result(10, consensus=1, consensus_step=9),
+        ]
+        assert accuracy_against_predicate(results, self._predicate(), inputs) == 0.5
+
+
+class TestInteractionsPerSecond:
+    def test_sums_over_the_batch(self):
+        results = [_result(100), _result(300)]
+        assert interactions_per_second(results, 2.0) == 200.0
+
+    def test_rejects_nonpositive_elapsed(self):
+        with pytest.raises(ValueError, match="positive"):
+            interactions_per_second([_result(10)], 0.0)
+        with pytest.raises(ValueError, match="positive"):
+            interactions_per_second([_result(10)], -1.0)

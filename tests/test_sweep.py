@@ -1,0 +1,508 @@
+"""Tests for the sweep harness: spec expansion, stores, runner, CLI.
+
+The load-bearing properties:
+
+* spec expansion is deterministic and keyfield-ordered; cell seeds depend on
+  the master seed and the cell's engine-free identity only,
+* stores round-trip losslessly, flush atomically, and recover (by dropping)
+  a torn trailing row instead of loading garbage,
+* the runner produces **byte-identical** store files across backends and
+  across kill-and-resume cycles, re-runs stale ``running``/torn cells, and
+  records failures as ``error`` rows,
+* the CLI drives the same machinery end to end.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.simulation import BatchRunner, summarize_runs
+from repro.sweep import (
+    COLUMNS,
+    CsvResultStore,
+    JsonlResultStore,
+    MemoryResultStore,
+    StoreCorruptionError,
+    SweepRunner,
+    SweepSpec,
+    build_protocol_and_inputs,
+    open_store,
+    register_sweep_protocol,
+    to_experiment_table,
+)
+from repro.sweep.cli import main as sweep_main
+from repro.sweep.spec import _PROTOCOL_BUILDERS
+from repro.sweep.store import STATUS_DONE, STATUS_ERROR, STATUS_RUNNING
+
+
+def _small_spec(**overrides):
+    """A fast 2-protocol x 2-population x 2-engine grid (8 cells)."""
+    options = dict(
+        protocols=("majority", ("modulo", {"modulus": 2, "remainder": 0})),
+        populations=(8, 12),
+        schedulers=("uniform",),
+        engines=("compiled", "reference"),
+        repetitions=2,
+        master_seed=42,
+        max_steps=300,
+        stability_window=50,
+    )
+    options.update(overrides)
+    return SweepSpec(**options)
+
+
+class TestSweepSpec:
+    def test_expansion_is_keyfield_ordered(self):
+        spec = _small_spec()
+        cells = spec.cells()
+        assert len(cells) == len(spec) == 8
+        # The engine axis varies fastest, then scheduler, population, protocol.
+        assert [(c.protocol, c.population, c.engine) for c in cells] == [
+            ("majority", 8, "compiled"), ("majority", 8, "reference"),
+            ("majority", 12, "compiled"), ("majority", 12, "reference"),
+            ("modulo", 8, "compiled"), ("modulo", 8, "reference"),
+            ("modulo", 12, "compiled"), ("modulo", 12, "reference"),
+        ]
+        assert len({cell.cell_id for cell in cells}) == len(cells)
+
+    def test_expansion_is_reproducible(self):
+        assert _small_spec().cells() == _small_spec().cells()
+
+    def test_cell_seeds_ignore_the_engine_axis(self):
+        spec = _small_spec()
+        seeds = {}
+        for cell in spec.cells():
+            seeds.setdefault(cell.seed_scope, set()).add(spec.cell_seed(cell))
+        # Engine rows of one grid point share their seed; distinct grid
+        # points get distinct seeds.
+        assert all(len(values) == 1 for values in seeds.values())
+        assert len({value for values in seeds.values() for value in values}) == 4
+
+    def test_cell_seeds_are_position_independent(self):
+        narrow = _small_spec(populations=(12,))
+        wide = _small_spec(populations=(8, 12, 16))
+        narrow_seeds = {c.cell_id: narrow.cell_seed(c) for c in narrow.cells()}
+        wide_seeds = {c.cell_id: wide.cell_seed(c) for c in wide.cells()}
+        for cell_id, seed in narrow_seeds.items():
+            assert wide_seeds[cell_id] == seed
+
+    def test_master_seed_changes_every_cell_seed(self):
+        first = _small_spec(master_seed=1)
+        second = _small_spec(master_seed=2)
+        for one, two in zip(first.cells(), second.cells()):
+            assert first.cell_seed(one) != second.cell_seed(two)
+
+    def test_json_round_trip(self):
+        spec = _small_spec()
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_validation_rejects_bad_axes(self):
+        with pytest.raises(ValueError, match="unknown sweep protocol"):
+            _small_spec(protocols=("no-such-protocol",))
+        with pytest.raises(ValueError, match="does not accept parameters"):
+            _small_spec(protocols=(("majority", {"threshold": 3}),))
+        with pytest.raises(ValueError, match="unknown engine"):
+            _small_spec(engines=("warp",))
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            _small_spec(schedulers=("fifo",))
+        with pytest.raises(ValueError, match="at least one protocol"):
+            _small_spec(protocols=())
+        with pytest.raises(ValueError, match="positive"):
+            _small_spec(populations=(0,))
+        with pytest.raises(ValueError, match="duplicate"):
+            _small_spec(populations=(8, 8))
+        with pytest.raises(ValueError, match="repetitions"):
+            _small_spec(repetitions=0)
+        with pytest.raises(ValueError, match="JSON-serializable"):
+            _small_spec(protocols=(("majority", {"a_fraction": {1, 2}}),))
+
+    def test_validation_rejects_non_integer_scalars(self):
+        # Hand-written spec files: "4" and 2.5 must fail *here*, not as a
+        # TypeError mid-validation or as eight identical error rows later.
+        with pytest.raises(ValueError, match="repetitions must be an integer"):
+            _small_spec(repetitions="4")
+        with pytest.raises(ValueError, match="repetitions must be an integer"):
+            _small_spec(repetitions=2.5)
+        with pytest.raises(ValueError, match="population must be an integer"):
+            _small_spec(populations=(20.5,))
+        with pytest.raises(ValueError, match="max_steps must be an integer"):
+            _small_spec(max_steps=True)
+        # Exact JSON floats are welcome (json has no integer type).
+        assert _small_spec(repetitions=4.0).repetitions == 4
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown sweep spec fields"):
+            SweepSpec.from_dict(
+                {"protocols": ["majority"], "populations": [4], "workers": 2}
+            )
+
+    def test_build_protocol_and_inputs(self):
+        protocol, inputs = build_protocol_and_inputs("majority", 9)
+        assert inputs.size == 9
+        assert protocol.petri_net is not None
+        with pytest.raises(ValueError, match="unknown sweep protocol"):
+            build_protocol_and_inputs("nope", 5)
+        with pytest.raises(ValueError, match="population"):
+            build_protocol_and_inputs("majority", 0)
+
+
+@pytest.mark.parametrize("store_class", [CsvResultStore, JsonlResultStore])
+class TestResultStore:
+    def _populate(self, store):
+        spec = _small_spec()
+        cells = spec.cells()[:3]
+        for cell in cells:
+            store.ensure(cell.cell_id, cell.keyfields(), spec.cell_seed(cell))
+        done = summarize_runs(
+            BatchRunner(
+                build_protocol_and_inputs("majority", 8)[0], backend="serial"
+            ).run_many(build_protocol_and_inputs("majority", 8)[1], 2, seed=1,
+                       max_steps=200)
+        )
+        store.mark_done(cells[0].cell_id, done)
+        store.mark_error(cells[1].cell_id, "ValueError: boom")
+        return cells
+
+    def test_round_trip_preserves_types_and_order(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        cells = self._populate(store)
+        store.flush()
+        reloaded = store_class(path)
+        assert reloaded.rows() == store.rows()
+        assert [row["cell"] for row in reloaded.rows()] == [c.cell_id for c in cells]
+        done_row = reloaded.get(cells[0].cell_id)
+        assert isinstance(done_row["mean_steps"], float)
+        assert isinstance(done_row["runs"], int)
+        assert done_row["error"] is None
+        assert reloaded.status(cells[1].cell_id) == STATUS_ERROR
+        assert reloaded.get(cells[1].cell_id)["error"] == "ValueError: boom"
+        assert reloaded.status(cells[2].cell_id) == "created"
+
+    def test_flush_is_byte_stable_across_reload_cycles(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        self._populate(store)
+        store.flush()
+        first = path.read_bytes()
+        reloaded = store_class(path)
+        reloaded.flush()
+        assert path.read_bytes() == first
+
+    def test_flush_leaves_no_temporary_file(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        self._populate(store)
+        store.flush()
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_truncated_last_line_is_dropped_and_reported(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        cells = self._populate(store)
+        store.flush()
+        intact = store_class(path)
+        # Tear the tail mid-row, as a crashed non-atomic writer would.
+        data = path.read_bytes()
+        path.write_bytes(data[:-15])
+        recovered = store_class(path)
+        assert len(recovered) == len(intact) - 1
+        assert cells[2].cell_id not in recovered
+        assert recovered.recovered_cells  # the tear was noticed, not silent
+        # The surviving rows are unharmed.
+        assert recovered.rows() == intact.rows()[:-1]
+
+    def test_corruption_before_the_last_row_raises(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        self._populate(store)
+        store.flush()
+        lines = path.read_text().splitlines(keepends=True)
+        # Damage the first *data* row (not the tail): unrecoverable.
+        damaged = 1 if store_class is CsvResultStore else 0
+        lines[damaged] = lines[damaged][:10] + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(StoreCorruptionError):
+            store_class(path)
+
+    def test_ensure_rejects_foreign_stores(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        spec = _small_spec()
+        cell = spec.cells()[0]
+        store.ensure(cell.cell_id, cell.keyfields(), spec.cell_seed(cell))
+        # Same cell again with the same identity: a no-op.
+        assert not store.ensure(cell.cell_id, cell.keyfields(), spec.cell_seed(cell))
+        # A different master seed means a different table.
+        with pytest.raises(StoreCorruptionError, match="master seed"):
+            store.ensure(cell.cell_id, cell.keyfields(), spec.cell_seed(cell) + 1)
+        mismatched = dict(cell.keyfields(), population=999)
+        with pytest.raises(StoreCorruptionError, match="different sweep spec"):
+            store.ensure(cell.cell_id, mismatched, spec.cell_seed(cell))
+
+    def test_marking_unknown_cells_raises(self, store_class, tmp_path):
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        with pytest.raises(KeyError):
+            store.mark_running("nope")
+
+
+class TestOpenStore:
+    def test_dispatches_on_suffix(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.csv"), CsvResultStore)
+        assert isinstance(open_store(tmp_path / "a.jsonl"), JsonlResultStore)
+        with pytest.raises(ValueError, match="store format"):
+            open_store(tmp_path / "a.parquet")
+
+
+class TestSweepRunner:
+    def test_serial_sweep_completes_and_matches_batch_runner(self):
+        spec = _small_spec()
+        store = MemoryResultStore()
+        report = SweepRunner(spec, store, backend="serial").run()
+        assert report.complete
+        assert report.executed == 8 and report.skipped == 0
+        assert store.status_counts() == {STATUS_DONE: 8}
+        # Seed discipline: a cell's ensemble is reproducible outside the
+        # sweep as BatchRunner.run_many(seed=cell_seed).
+        cell = spec.cells()[0]
+        protocol, inputs = cell.build()
+        with BatchRunner(protocol, backend="serial", engine=cell.engine) as runner:
+            expected = summarize_runs(
+                runner.run_many(
+                    inputs, spec.repetitions, seed=spec.cell_seed(cell),
+                    max_steps=spec.max_steps,
+                    stability_window=spec.stability_window,
+                )
+            )
+        row = store.get(cell.cell_id)
+        assert row["runs"] == expected.runs
+        assert row["converged"] == expected.converged
+        assert row["mean_steps"] == expected.mean_steps
+        assert row["median_steps"] == float(expected.median_steps)
+        assert row["min_steps"] == expected.min_steps
+        assert row["max_steps"] == expected.max_steps
+
+    def test_engine_rows_report_identical_statistics(self):
+        spec = _small_spec()
+        store = MemoryResultStore()
+        SweepRunner(spec, store, backend="serial").run()
+        statistic = lambda row: tuple(
+            row[c] for c in ("runs", "converged", "mean_steps", "median_steps",
+                             "min_steps", "max_steps", "mean_consensus_step")
+        )
+        by_scope = {}
+        for row, cell in zip(store.rows(), spec.cells()):
+            by_scope.setdefault(cell.seed_scope, []).append(statistic(row))
+        assert all(len(set(values)) == 1 for values in by_scope.values())
+        assert len(by_scope) == 4
+
+    def test_serial_and_process_store_files_are_byte_identical(self, tmp_path):
+        spec = _small_spec()
+        serial_path = tmp_path / "serial.csv"
+        process_path = tmp_path / "process.csv"
+        SweepRunner(spec, open_store(serial_path), backend="serial").run()
+        SweepRunner(
+            spec, open_store(process_path), backend="process", max_workers=2
+        ).run()
+        assert serial_path.read_bytes() == process_path.read_bytes()
+
+    @pytest.mark.parametrize("suffix", [".csv", ".jsonl"])
+    def test_kill_and_resume_matches_uninterrupted_run(self, tmp_path, suffix):
+        spec = _small_spec()
+        straight = tmp_path / ("straight" + suffix)
+        SweepRunner(spec, open_store(straight), backend="serial").run()
+
+        interrupted = tmp_path / ("interrupted" + suffix)
+        first = SweepRunner(spec, open_store(interrupted), backend="serial").run(
+            max_cells=3
+        )
+        assert first.executed == 3 and first.remaining == 5
+        assert interrupted.read_bytes() != straight.read_bytes()
+        # Resume from a fresh runner over the half-finished store.
+        second = SweepRunner(spec, open_store(interrupted), backend="serial").run()
+        assert second.skipped == 3 and second.executed == 5
+        assert interrupted.read_bytes() == straight.read_bytes()
+
+    def test_stale_running_rows_are_rerun_on_resume(self, tmp_path):
+        spec = _small_spec()
+        straight = tmp_path / "straight.csv"
+        SweepRunner(spec, open_store(straight), backend="serial").run()
+        reference_bytes = straight.read_bytes()
+        # Simulate a kill mid-cell: the store shows the cell as running.
+        crashed = open_store(straight)
+        victim = spec.cells()[4].cell_id
+        crashed.mark_running(victim)
+        crashed.flush()
+        assert straight.read_bytes() != reference_bytes
+        report = SweepRunner(spec, open_store(straight), backend="serial").run()
+        assert report.executed == 1 and report.skipped == 7
+        assert straight.read_bytes() == reference_bytes
+        assert open_store(straight).status(victim) == STATUS_DONE
+
+    def test_torn_store_tail_is_rerun_to_the_same_table(self, tmp_path):
+        spec = _small_spec()
+        straight = tmp_path / "straight.csv"
+        SweepRunner(spec, open_store(straight), backend="serial").run()
+        reference_bytes = straight.read_bytes()
+        torn = tmp_path / "torn.csv"
+        torn.write_bytes(reference_bytes[:-20])
+        store = open_store(torn)
+        assert store.recovered_cells
+        report = SweepRunner(spec, store, backend="serial").run()
+        assert report.executed == 1 and report.skipped == 7
+        assert torn.read_bytes() == reference_bytes
+
+    def test_failing_cells_become_error_rows(self, tmp_path):
+        def boom(population, params):
+            raise RuntimeError("deliberate failure")
+
+        register_sweep_protocol("always-boom", boom)
+        try:
+            spec = _small_spec(
+                protocols=("majority", "always-boom"), populations=(8,),
+                engines=("compiled",),
+            )
+            store = MemoryResultStore()
+            report = SweepRunner(spec, store, backend="serial").run(
+                on_error="continue"
+            )
+            assert report.failed == 1 and report.executed == 1
+            assert not report.complete
+            counts = store.status_counts()
+            assert counts == {STATUS_DONE: 1, STATUS_ERROR: 1}
+            error_row = [r for r in store.rows() if r["status"] == STATUS_ERROR][0]
+            assert "deliberate failure" in error_row["error"]
+
+            # The default re-raises (after persisting the error row) ...
+            with pytest.raises(RuntimeError, match="deliberate failure"):
+                SweepRunner(spec, MemoryResultStore(), backend="serial").run()
+            # ... and resumption retries errors unless told not to.  Skipped
+            # error rows are still failures: the report stays incomplete.
+            skip = SweepRunner(
+                spec, store, backend="serial", retry_errors=False
+            ).run(on_error="continue")
+            assert skip.skipped == 2 and skip.failed == 0
+            assert skip.skipped_errors == 1
+            assert not skip.complete
+        finally:
+            _PROTOCOL_BUILDERS.pop("always-boom")
+
+    def test_max_cells_zero_attempts_nothing(self):
+        spec = _small_spec()
+        store = MemoryResultStore()
+        report = SweepRunner(spec, store, backend="serial").run(max_cells=0)
+        assert report.executed == 0 and report.remaining == 8
+        assert store.status_counts() == {"created": 8}
+
+    def test_invalid_arguments_rejected(self):
+        spec = _small_spec()
+        with pytest.raises(ValueError, match="backend"):
+            SweepRunner(spec, MemoryResultStore(), backend="thread")
+        with pytest.raises(ValueError, match="max_workers"):
+            SweepRunner(spec, MemoryResultStore(), max_workers=0)
+        runner = SweepRunner(spec, MemoryResultStore(), backend="serial")
+        with pytest.raises(ValueError, match="on_error"):
+            runner.run(on_error="ignore")
+        with pytest.raises(ValueError, match="max_cells"):
+            runner.run(max_cells=-1)
+
+    def test_to_experiment_table_renders_all_rows(self):
+        spec = _small_spec(populations=(8,), engines=("compiled",))
+        store = MemoryResultStore()
+        SweepRunner(spec, store, backend="serial").run()
+        table = to_experiment_table(store, experiment_id="T")
+        assert len(table) == 2
+        assert list(table.columns) == list(COLUMNS)
+        rendered = table.render()
+        assert "majority" in rendered and "modulo" in rendered
+
+
+class TestSweepCli:
+    def _write_spec(self, tmp_path):
+        spec = _small_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return path, spec
+
+    def test_template_round_trips(self, capsys):
+        assert sweep_main(["template"]) == 0
+        SweepSpec.from_json(capsys.readouterr().out)  # must parse and validate
+
+    def test_run_show_and_resume(self, tmp_path, capsys):
+        spec_path, spec = self._write_spec(tmp_path)
+        store_path = tmp_path / "results.csv"
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(store_path),
+            "--backend", "serial", "--quiet",
+        ]) == 0
+        first = store_path.read_bytes()
+        output = capsys.readouterr().out
+        assert "8 executed" in output
+        # A second run resumes: everything is already done.
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(store_path),
+            "--backend", "serial", "--quiet",
+        ]) == 0
+        assert "8 skipped" in capsys.readouterr().out
+        assert store_path.read_bytes() == first
+        assert sweep_main(["show", "--store", str(store_path)]) == 0
+        assert "majority" in capsys.readouterr().out
+
+    def test_cli_interrupt_and_resume_is_bit_identical(self, tmp_path, capsys):
+        # The acceptance scenario: >= 2 protocols x >= 2 populations x >= 2
+        # engines through the CLI, killed mid-sweep (--max-cells), resumed
+        # from a copy, byte-identical to the uninterrupted table.
+        spec_path, spec = self._write_spec(tmp_path)
+        full = tmp_path / "full.csv"
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(full),
+            "--backend", "serial", "--quiet",
+        ]) == 0
+        half = tmp_path / "half.csv"
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(half),
+            "--backend", "serial", "--max-cells", "4", "--quiet",
+        ]) == 0
+        assert "4 remaining" in capsys.readouterr().out
+        assert half.read_bytes() != full.read_bytes()
+        resumed = tmp_path / "resumed.csv"
+        resumed.write_bytes(half.read_bytes())
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(resumed),
+            "--backend", "serial", "--quiet",
+        ]) == 0
+        assert resumed.read_bytes() == full.read_bytes()
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        assert sweep_main([
+            "run", "--spec", str(tmp_path / "none.json"),
+            "--store", str(tmp_path / "out.csv"),
+        ]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_mismatched_store_fails_cleanly(self, tmp_path, capsys):
+        # Editing the spec (here: the master seed) after a store was written
+        # must be a clean one-line refusal, not a traceback.
+        spec_path, spec = self._write_spec(tmp_path)
+        store_path = tmp_path / "results.csv"
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(store_path),
+            "--backend", "serial", "--max-cells", "1", "--quiet",
+        ]) == 0
+        spec_path.write_text(_small_spec(master_seed=777).to_json())
+        assert sweep_main([
+            "run", "--spec", str(spec_path), "--store", str(store_path),
+            "--backend", "serial", "--quiet",
+        ]) == 2
+        assert "does not match this spec" in capsys.readouterr().err
+
+    def test_unknown_store_suffix_fails_cleanly(self, tmp_path, capsys):
+        spec_path, _ = self._write_spec(tmp_path)
+        assert sweep_main([
+            "run", "--spec", str(spec_path),
+            "--store", str(tmp_path / "out.parquet"),
+        ]) == 2
+        assert "cannot open store" in capsys.readouterr().err
