@@ -1,0 +1,8 @@
+"""``python -m repro.analytics`` — see :mod:`repro.analytics.report`."""
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

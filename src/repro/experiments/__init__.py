@@ -1,4 +1,4 @@
-"""Experiment harness and the E1..E12 experiment definitions (see DESIGN.md)."""
+"""Experiment harness and the E1..E13 experiment definitions (see DESIGN.md)."""
 
 from . import experiment_defs  # noqa: F401  (registers the experiments)
 from .experiment_defs import (
@@ -14,6 +14,7 @@ from .experiment_defs import (
     experiment_e10_parallel_batch,
     experiment_e11_large_net_throughput,
     experiment_e12_parameter_sweep,
+    experiment_e13_analytics_sweep,
     random_interaction_protocol,
 )
 from .harness import ExperimentRegistry, ExperimentTable, registry
@@ -34,5 +35,6 @@ __all__ = [
     "experiment_e10_parallel_batch",
     "experiment_e11_large_net_throughput",
     "experiment_e12_parameter_sweep",
+    "experiment_e13_analytics_sweep",
     "random_interaction_protocol",
 ]

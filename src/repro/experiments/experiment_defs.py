@@ -1,4 +1,4 @@
-"""Experiment definitions E1..E12 (see DESIGN.md, "Experiment index").
+"""Experiment definitions E1..E13 (see DESIGN.md, "Experiment index").
 
 Each function builds an :class:`~repro.experiments.harness.ExperimentTable`
 reproducing one of the paper's quantitative claims on laptop-scale instances.
@@ -73,6 +73,7 @@ __all__ = [
     "experiment_e10_parallel_batch",
     "experiment_e11_large_net_throughput",
     "experiment_e12_parameter_sweep",
+    "experiment_e13_analytics_sweep",
     "random_interaction_protocol",
 ]
 
@@ -979,4 +980,93 @@ def experiment_e12_parameter_sweep(
         store,
         experiment_id="E12",
         title="parameter sweep: majority/succinct over populations and engines",
+    )
+
+
+# ----------------------------------------------------------------------
+# E13 — analytics sweep: trajectory-derived metrics across engines/schedulers
+# ----------------------------------------------------------------------
+@registry.register("E13")
+def experiment_e13_analytics_sweep(
+    populations: Sequence[int] = (18, 30),
+    engines: Sequence[str] = ("compiled", "reference"),
+    schedulers: Sequence[str] = ("uniform", "transition"),
+    repetitions: int = 4,
+    max_steps: int = 20000,
+    stability_window: int = 500,
+    master_seed: int = 2022,
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    store_path: Optional[str] = None,
+) -> ExperimentTable:
+    """Trajectory analytics of majority/modulo across engines and schedulers.
+
+    Drives the analytics subsystem (:mod:`repro.analytics`) end to end
+    through the sweep harness: an analytics-enabled
+    :class:`~repro.sweep.spec.SweepSpec` over the majority protocol and the
+    remainder predicate, with per-cell metric extraction running *inside the
+    batch workers* — predicate accuracy, convergence-time quantiles and the
+    top fired transitions land as persisted table columns.
+
+    The experiment doubles as a cross-engine analytics check: engine rows of
+    one grid point share their ensemble seed, so their trajectory-derived
+    columns (not just their convergence statistics) must agree exactly —
+    the run raises on any divergence.  Scheduler rows, by contrast, sample
+    genuinely different dynamics; the table shows how the uniform and
+    transition disciplines reshape both convergence times and the firing
+    histogram.
+    """
+    from ..analytics.report import report_table
+    from ..sweep import MemoryResultStore, SweepRunner, SweepSpec, open_store
+    from ..sweep.spec import KEYFIELDS
+    from ..sweep.store import ANALYTICS_COLUMNS
+
+    spec = SweepSpec(
+        protocols=("majority", ("modulo", {"modulus": 3, "remainder": 1})),
+        populations=populations,
+        schedulers=schedulers,
+        engines=engines,
+        repetitions=repetitions,
+        master_seed=master_seed,
+        max_steps=max_steps,
+        stability_window=stability_window,
+        analytics=True,
+    )
+    store = open_store(store_path) if store_path else MemoryResultStore()
+    runner = SweepRunner(spec, store, backend=backend, max_workers=max_workers)
+    report = runner.run()
+    if not report.complete:
+        failing = [
+            f"{row['cell']}: {row['error']}"
+            for row in store.rows()
+            if row["status"] == "error"
+        ]
+        raise RuntimeError(
+            f"analytics sweep did not complete ({report.failed} failed): "
+            + "; ".join(failing)
+        )
+    # Engine rows of one grid point ran the same seeds, so the
+    # trajectory-derived analytics — not just the summary statistics — must
+    # be identical across engines.
+    comparison_columns = ANALYTICS_COLUMNS + ("runs", "converged", "mean_steps")
+    by_point = {}
+    for row in store.rows():
+        point = tuple(row[key] for key in KEYFIELDS if key != "engine")
+        values = tuple(row[column] for column in comparison_columns)
+        previous = by_point.setdefault(point, (row["engine"], values))
+        if previous[1] != values:
+            raise RuntimeError(
+                f"analytics of engine {row['engine']!r} diverged from "
+                f"{previous[0]!r} on grid point {point}"
+            )
+        if row["accuracy"] is None or row["accuracy"] < 1.0:
+            raise RuntimeError(
+                f"cell {row['cell']} scored accuracy {row['accuracy']!r}; "
+                "the majority/modulo protocols should stabilize correctly "
+                "within this budget"
+            )
+    return report_table(
+        store,
+        experiment_id="E13",
+        title="trajectory analytics: majority/modulo across engines and schedulers",
     )

@@ -107,6 +107,32 @@ def _dumps_for_workers(payload: object) -> bytes:
         ) from error
 
 
+def _validate_analytics(analytics, process_backend: bool) -> None:
+    """Reject unusable analytics specs at the call site, not inside a worker.
+
+    The spec must expose ``extract(result, protocol)`` (canonically an
+    :class:`~repro.analytics.metrics.AnalyticsSpec`), and under the process
+    backend it must pickle — it travels with every task, and an unpicklable
+    spec would otherwise surface as an opaque error from the pool machinery.
+    """
+    if analytics is None:
+        return
+    if not callable(getattr(analytics, "extract", None)):
+        raise ValueError(
+            "analytics must provide an extract(result, protocol) method "
+            "(use repro.analytics.AnalyticsSpec), got "
+            f"{type(analytics).__name__}"
+        )
+    if process_backend:
+        try:
+            pickle.dumps(analytics)
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            raise ValueError(
+                "backend='process' requires a picklable analytics spec "
+                f"({error}); use backend='serial' instead"
+            ) from error
+
+
 def _plan_chunks(
     seeds: Sequence[int], workers: int, chunk_size: Optional[int]
 ) -> List[Sequence[int]]:
@@ -161,12 +187,17 @@ def _run_worker_task(task) -> List[SimulationResult]:
     """Run one chunk of seeds on the worker's cached simulator for the spec.
 
     ``task`` carries the spec alongside the per-ensemble parameters (initial
-    configuration, step budget, recording knobs) and the chunk, so one pool
-    can serve ensembles of different protocols and parameters.
+    configuration, step budget, recording and analytics knobs) and the chunk,
+    so one pool can serve ensembles of different protocols and parameters.
+    With an analytics spec the metric extraction happens *here*, in the
+    worker: full trajectory rings are recorded, consumed and dropped locally,
+    and only the compact metric dicts travel back through the pool.
     """
-    spec_bytes, configuration, seeds, max_steps, stability_window, record, capacity = task
+    (spec_bytes, configuration, seeds, max_steps, stability_window,
+     record, capacity, analytics) = task
     return _worker_simulator(spec_bytes)._run_seeds(
-        configuration, list(seeds), max_steps, stability_window, record, capacity
+        configuration, list(seeds), max_steps, stability_window, record,
+        capacity, analytics,
     )
 
 
@@ -178,10 +209,11 @@ def _make_tasks(
     stability_window: int,
     record_trajectory: bool,
     trajectory_capacity: int,
+    analytics=None,
 ) -> List[tuple]:
     return [
         (spec_bytes, configuration, chunk, max_steps, stability_window,
-         record_trajectory, trajectory_capacity)
+         record_trajectory, trajectory_capacity, analytics)
         for chunk in chunks
     ]
 
@@ -314,11 +346,16 @@ class WorkerPool:
         chunk_size: Optional[int] = None,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+        analytics=None,
         spec_bytes: Optional[bytes] = None,
     ) -> List[SimulationResult]:
         """Run one repetition per seed over the pool (index-aligned results).
 
-        ``spec_bytes`` optionally supplies the pre-pickled
+        ``analytics`` optionally ships a metric-extraction spec (see
+        :class:`~repro.analytics.metrics.AnalyticsSpec`) to the workers:
+        each result comes back with a compact ``result.analytics`` dict,
+        extracted in the worker so the full trajectory rings never cross the
+        pool.  ``spec_bytes`` optionally supplies the pre-pickled
         ``(protocol, scheduler, engine)`` spec, letting repeat callers (the
         :class:`BatchRunner` fast path, the sweep runner's per-cell-group
         cache) skip re-pickling — and guaranteeing the worker-side cache key
@@ -329,6 +366,7 @@ class WorkerPool:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
         if record_trajectory and trajectory_capacity < 1:
             raise ValueError("trajectory_capacity must be at least 1")
+        _validate_analytics(analytics, process_backend=True)
         seeds = list(seeds)
         configuration = protocol.initial_configuration(inputs)
         if not seeds:
@@ -341,7 +379,7 @@ class WorkerPool:
         chunks = _plan_chunks(seeds, effective, chunk_size)
         tasks = _make_tasks(
             spec_bytes, configuration, chunks, max_steps, stability_window,
-            record_trajectory, trajectory_capacity,
+            record_trajectory, trajectory_capacity, analytics,
         )
         chunk_results = self._ensure_pool().map(_run_worker_task, tasks)
         return [result for chunk in chunk_results for result in chunk]
@@ -370,6 +408,7 @@ def run_ensemble(
     start_method: Optional[str] = None,
     record_trajectory: bool = False,
     trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+    analytics=None,
     _serial_simulator: Optional[Simulator] = None,
 ) -> List[SimulationResult]:
     """Run one independent repetition per seed and return them in seed order.
@@ -406,6 +445,13 @@ def run_ensemble(
         As for :meth:`Simulator.run <repro.simulation.simulator.Simulator.run>`;
         recorded trajectories are returned with the results across the process
         boundary.
+    analytics:
+        Optional metric-extraction spec (see
+        :class:`~repro.analytics.metrics.AnalyticsSpec`): each result gains a
+        compact ``result.analytics`` dict, extracted in the worker under
+        ``backend="process"`` so only the metrics — never the trajectory
+        rings — cross the pool.  Extraction is deterministic, so both
+        backends return identical metric dicts.
 
     This functional entry point builds an ephemeral pool per call; use
     :class:`BatchRunner` to amortize pool construction over repeated
@@ -417,6 +463,7 @@ def run_ensemble(
         # under backend="process" a late failure would surface from inside a
         # pool worker; reject the bad argument here, at the call site.
         raise ValueError("trajectory_capacity must be at least 1")
+    _validate_analytics(analytics, process_backend=(backend == "process"))
 
     seeds = list(seeds)
     if backend == "serial" or not seeds:
@@ -426,7 +473,7 @@ def run_ensemble(
         configuration = protocol.initial_configuration(inputs)
         return simulator._run_seeds(
             configuration, seeds, max_steps, stability_window,
-            record_trajectory, trajectory_capacity,
+            record_trajectory, trajectory_capacity, analytics,
         )
 
     if _serial_simulator is None:
@@ -454,6 +501,7 @@ def run_ensemble(
             chunk_size=chunk_size,
             record_trajectory=record_trajectory,
             trajectory_capacity=trajectory_capacity,
+            analytics=analytics,
             spec_bytes=spec_bytes,
         )
 
@@ -610,6 +658,7 @@ class BatchRunner:
         stability_window: int = 200,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+        analytics=None,
     ) -> List[SimulationResult]:
         """Run ``repetitions`` independent executions seeded from ``seed``."""
         if repetitions < 0:
@@ -623,6 +672,7 @@ class BatchRunner:
             stability_window=stability_window,
             record_trajectory=record_trajectory,
             trajectory_capacity=trajectory_capacity,
+            analytics=analytics,
         )
 
     def run_seeds(
@@ -633,17 +683,24 @@ class BatchRunner:
         stability_window: int = 200,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+        analytics=None,
     ) -> List[SimulationResult]:
-        """Run one repetition per explicit seed (index-aligned results)."""
+        """Run one repetition per explicit seed (index-aligned results).
+
+        With ``analytics`` each result carries a compact metric dict
+        (``result.analytics``), extracted inside the workers on the process
+        backend so trajectory rings never cross the pool.
+        """
         self._check_open()
         if record_trajectory and trajectory_capacity < 1:
             raise ValueError("trajectory_capacity must be at least 1")
+        _validate_analytics(analytics, process_backend=(self.backend == "process"))
         seeds = list(seeds)
         configuration = self.protocol.initial_configuration(inputs)
         if self.backend == "serial" or not seeds:
             return self._simulator._run_seeds(
                 configuration, seeds, max_steps, stability_window,
-                record_trajectory, trajectory_capacity,
+                record_trajectory, trajectory_capacity, analytics,
             )
         return self._ensure_pool().run_seeds(
             self.protocol,
@@ -656,6 +713,7 @@ class BatchRunner:
             chunk_size=self.chunk_size,
             record_trajectory=record_trajectory,
             trajectory_capacity=trajectory_capacity,
+            analytics=analytics,
             spec_bytes=self._spec_bytes,
         )
 

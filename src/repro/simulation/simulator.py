@@ -48,7 +48,7 @@ import os
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..core.configuration import Configuration
 from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
@@ -94,6 +94,9 @@ class SimulationResult:
     interactions_sampled: int
     #: Recorded path (``record_trajectory=True`` only), else ``None``.
     trajectory: Optional[Trajectory] = None
+    #: Compact metric dict extracted in-place by the batch layer's
+    #: ``analytics=`` knob (see :mod:`repro.analytics.metrics`), else ``None``.
+    analytics: Optional[Dict[str, object]] = None
 
     @property
     def converged(self) -> bool:
@@ -423,6 +426,7 @@ class Simulator:
         stability_window: int,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+        analytics=None,
     ) -> List[SimulationResult]:
         """Run one repetition per seed from ``configuration``, in seed order.
 
@@ -430,7 +434,29 @@ class Simulator:
         each worker's share under ``backend="process"``): on the compiled path
         the whole sequence reuses a single dense counts buffer instead of
         reallocating one per repetition.
+
+        ``analytics`` optionally supplies an extraction spec (any object with
+        an ``extract(result, protocol)`` method, canonically
+        :class:`~repro.analytics.metrics.AnalyticsSpec`).  Each run is then
+        recorded internally with a capacity large enough for the complete
+        path, its compact metric dict is attached as ``result.analytics``,
+        and the bulky trajectory ring is **dropped again** unless the caller
+        asked for trajectories too — this is what lets worker processes
+        return metrics instead of 65536-entry rings.  The surviving result
+        fields (and any requested trajectory) are bit-identical to a run
+        without analytics.
         """
+        record = record_trajectory
+        capacity = trajectory_capacity
+        if analytics is not None:
+            # Record internally with room for the complete path: a run fires
+            # at most max_steps transitions, so max_steps guarantees no ring
+            # overwrites (the compiled engine clamps its physical buffer the
+            # same way, so a short run never over-allocates).
+            record = True
+            capacity = max(
+                1, max_steps, trajectory_capacity if record_trajectory else 0
+            )
         buffer: Optional[List[int]] = None
         if self._stepper is not None:
             buffer = self._compiled.counts_of(configuration)
@@ -439,20 +465,49 @@ class Simulator:
             run_rng = random.Random(seed)
             if buffer is not None:
                 counts = self._compiled.counts_of(configuration, out=buffer)
-                results.append(
-                    self._run_compiled(
-                        configuration, counts, max_steps, stability_window, run_rng,
-                        record_trajectory, trajectory_capacity,
-                    )
+                result = self._run_compiled(
+                    configuration, counts, max_steps, stability_window, run_rng,
+                    record, capacity,
                 )
             else:
-                results.append(
-                    self._dispatch(
-                        configuration, max_steps, stability_window, run_rng,
-                        record_trajectory, trajectory_capacity,
-                    )
+                result = self._dispatch(
+                    configuration, max_steps, stability_window, run_rng,
+                    record, capacity,
                 )
+            if analytics is not None:
+                result.analytics = analytics.extract(result, self.protocol)
+                self._restore_trajectory(
+                    result, record_trajectory, trajectory_capacity
+                )
+            results.append(result)
         return results
+
+    @staticmethod
+    def _restore_trajectory(
+        result: SimulationResult, record_trajectory: bool, trajectory_capacity: int
+    ) -> None:
+        """Undo the internal full-capacity recording of an analytics run.
+
+        Leaves ``result.trajectory`` exactly as a plain run with the caller's
+        ``record_trajectory``/``trajectory_capacity`` would have: ``None``
+        when recording was not requested, else the last
+        ``trajectory_capacity`` firings under the requested capacity — so
+        enabling analytics can never change the non-analytics fields.
+        """
+        if not record_trajectory:
+            result.trajectory = None
+            return
+        trajectory = result.trajectory
+        if trajectory is None or trajectory.capacity == trajectory_capacity:
+            return
+        indices = trajectory.transition_indices
+        if len(indices) > trajectory_capacity:
+            indices = indices[len(indices) - trajectory_capacity:]
+        result.trajectory = Trajectory(
+            transition_indices=indices,
+            total_fired=trajectory.total_fired,
+            capacity=trajectory_capacity,
+        )
 
     def run_many(
         self,
@@ -465,6 +520,7 @@ class Simulator:
         chunk_size: Optional[int] = None,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+        analytics=None,
     ) -> List[SimulationResult]:
         """Simulate several independent executions from the same input.
 
@@ -480,6 +536,11 @@ class Simulator:
         seeds are drawn from the master generator *before* scheduling, and the
         results come back in repetition order, so the two backends return
         bit-identical result lists for the same simulator seed.
+
+        ``analytics`` optionally attaches a compact metric dict per result
+        (see :mod:`repro.analytics.metrics`); under ``backend="process"`` the
+        extraction runs inside the workers and only the metrics cross the
+        pool.
         """
         from .batch import run_ensemble
 
@@ -506,6 +567,7 @@ class Simulator:
                 chunk_size=chunk_size,
                 record_trajectory=record_trajectory,
                 trajectory_capacity=trajectory_capacity,
+                analytics=analytics,
                 _serial_simulator=self,
             )
         except Exception:

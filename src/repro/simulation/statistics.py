@@ -104,8 +104,22 @@ def interactions_per_second(
 
     ``elapsed_seconds`` is the wall-clock time the batch took; the throughput
     benchmark (E9) uses this to compare the engines.
+
+    Raises :class:`ValueError` for an empty batch or a non-positive duration,
+    matching the :func:`summarize_runs` convention: a throughput of nothing
+    (or over no time) is a caller bug — usually a timer that never ran —
+    and deserves a clear message, not a silent 0.0 or a
+    ``ZeroDivisionError``.
     """
+    if not results:
+        raise ValueError(
+            "cannot compute a throughput over an empty batch of simulation "
+            "results; run at least one repetition"
+        )
     if elapsed_seconds <= 0:
-        raise ValueError("elapsed_seconds must be positive")
+        raise ValueError(
+            f"elapsed_seconds must be positive, got {elapsed_seconds} "
+            "(was the batch actually timed?)"
+        )
     total = sum(result.interactions_sampled for result in results)
     return total / elapsed_seconds

@@ -23,6 +23,12 @@ population-protocol ensembles.
 * ``python -m repro.sweep`` (:mod:`repro.sweep.cli`) — run/resume/show
   sweeps from the command line; experiment E12 drives the same machinery
   from the experiment registry.
+
+Cells are scored against their protocol's registered predicate (the
+``accuracy`` column), and a spec with ``analytics=True`` extracts
+trajectory analytics inside the workers — convergence-time quantiles and
+top fired transitions land as additional byte-stable columns (see
+:mod:`repro.analytics`, experiment E13).
 """
 
 from .runner import SweepReport, SweepRunner, to_experiment_table
@@ -32,10 +38,12 @@ from .spec import (
     SweepCell,
     SweepSpec,
     available_sweep_protocols,
+    build_predicate_for,
     build_protocol_and_inputs,
     register_sweep_protocol,
 )
 from .store import (
+    ANALYTICS_COLUMNS,
     COLUMNS,
     STATUS_CREATED,
     STATUS_DONE,
@@ -52,6 +60,7 @@ from .store import (
 __all__ = [
     "KEYFIELDS",
     "SCHEDULERS",
+    "ANALYTICS_COLUMNS",
     "COLUMNS",
     "STATUS_CREATED",
     "STATUS_RUNNING",
@@ -62,6 +71,7 @@ __all__ = [
     "SweepReport",
     "SweepRunner",
     "available_sweep_protocols",
+    "build_predicate_for",
     "build_protocol_and_inputs",
     "register_sweep_protocol",
     "to_experiment_table",

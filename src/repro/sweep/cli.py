@@ -8,7 +8,9 @@ Three subcommands:
     Running against an existing store **resumes** it: ``done`` cells are
     skipped, everything else is (re)run.  ``--max-cells N`` stops after N
     cells — the controlled-interruption knob the CI smoke job uses to
-    exercise resume.
+    exercise resume.  A spec with ``"analytics": true`` additionally
+    extracts trajectory analytics in the workers and persists the derived
+    columns (render them with ``python -m repro.analytics report``).
 
 ``show``
     Render a store as an aligned plain-text table.

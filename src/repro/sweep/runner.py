@@ -31,11 +31,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.configuration import Configuration
+from ..core.predicates import Predicate
 from ..core.protocol import Protocol
 from ..simulation.batch import WorkerPool, _dumps_for_workers
 from ..simulation.scheduler import Scheduler
 from ..simulation.simulator import SimulationResult, Simulator
-from ..simulation.statistics import summarize_runs
+from ..simulation.statistics import accuracy_against_predicate, summarize_runs
 from ..simulation.trajectory import DEFAULT_TRAJECTORY_CAPACITY
 from .spec import SweepCell, SweepSpec, build_inputs_for
 from .store import STATUS_DONE, STATUS_ERROR, ResultStore
@@ -211,7 +212,11 @@ class SweepRunner:
                 else:
                     executed += 1
                     statistics = summarize_runs(results)
-                    self.store.mark_done(cell.cell_id, statistics)
+                    self.store.mark_done(
+                        cell.cell_id, statistics, **self._result_extras(
+                            cell, caches, results
+                        )
+                    )
                     self.store.flush()
                     if progress is not None:
                         progress(
@@ -240,12 +245,16 @@ class SweepRunner:
         inputs = caches.inputs(cell)
         scheduler = caches.scheduler(cell)
         seeds = self._cell_run_seeds(cell)
+        analytics = (
+            caches.analytics_spec(cell, inputs) if self.spec.analytics else None
+        )
         if self.backend == "serial":
             simulator = caches.serial_simulator(cell, protocol, scheduler)
             configuration = protocol.initial_configuration(inputs)
             return simulator._run_seeds(
                 configuration, seeds, self.spec.max_steps,
                 self.spec.stability_window, False, DEFAULT_TRAJECTORY_CAPACITY,
+                analytics,
             )
         return pool.run_seeds(
             protocol,
@@ -256,8 +265,65 @@ class SweepRunner:
             max_steps=self.spec.max_steps,
             stability_window=self.spec.stability_window,
             chunk_size=self.chunk_size,
+            analytics=analytics,
             spec_bytes=caches.spec_bytes(cell, protocol, scheduler),
         )
+
+    def _result_extras(
+        self,
+        cell: SweepCell,
+        caches: "_CellCaches",
+        results: List[SimulationResult],
+    ) -> Dict[str, object]:
+        """The analytics columns of a completed cell.
+
+        Predicate accuracy is scored whenever the protocol registers a
+        predicate — analytics on or off.  With analytics enabled the workers
+        already scored each run against the expected predicate value (the
+        spec's ``expected_output``), so the aggregated accuracy is reused;
+        without analytics it is recomputed here from the consensus values
+        the results carry.  The trajectory-derived columns (convergence-time
+        quantiles, top transitions) come from the in-worker metric dicts and
+        are therefore only present under ``spec.analytics=True``.
+        Everything here is a deterministic pure function of the results, so
+        the persisted columns inherit the store's byte-stability across
+        backends and resume cycles.
+        """
+        if self.spec.analytics:
+            # Imported lazily: repro.analytics imports this package for its
+            # report CLI, so a module-level import would be circular.
+            from ..analytics.ensemble import aggregate_run_metrics, top_transitions
+
+            aggregated = aggregate_run_metrics(
+                [result.analytics for result in results],
+                quantile_points=(0.1, 0.5, 0.9),
+            )
+            rendered = None
+            if aggregated.histogram is not None:
+                names = [
+                    transition.name
+                    for transition in caches.protocol(cell).petri_net.transitions
+                ]
+                top = top_transitions(aggregated.histogram, names, k=3)
+                # None (not "") when nothing fired: the CSV round-trip cannot
+                # distinguish an empty string from an absent value.
+                rendered = (
+                    "; ".join(f"{name}:{count}" for name, count in top)
+                    if top else None
+                )
+            return {
+                "accuracy": aggregated.accuracy,
+                "consensus_quantiles": aggregated.stable_consensus_quantiles,
+                "top_transitions": rendered,
+            }
+        predicate = caches.predicate(cell)
+        return {
+            "accuracy": (
+                accuracy_against_predicate(results, predicate, caches.inputs(cell))
+                if predicate is not None
+                else None
+            )
+        }
 
     def _cell_run_seeds(self, cell: SweepCell) -> List[int]:
         """The cell's per-repetition seeds.
@@ -294,6 +360,8 @@ class _CellCaches:
         self._schedulers: Dict[str, Scheduler] = {}
         self._serial: Dict[Tuple[str, str, str, str], Simulator] = {}
         self._spec_bytes: Dict[Tuple[str, str, str, str], bytes] = {}
+        self._predicates: Dict[Tuple[str, str, int], Optional[Predicate]] = {}
+        self._analytics: Dict[Tuple[str, str, int], object] = {}
 
     def protocol(self, cell: SweepCell) -> Protocol:
         key = (cell.protocol, cell.params_json)
@@ -313,6 +381,32 @@ class _CellCaches:
             )
             self._inputs[key] = inputs
         return inputs
+
+    def predicate(self, cell: SweepCell) -> Optional[Predicate]:
+        """The cell's registered predicate (or None), cached per grid point."""
+        key = (cell.protocol, cell.params_json, cell.population)
+        if key not in self._predicates:
+            self._predicates[key] = cell.build_predicate()
+        return self._predicates[key]
+
+    def analytics_spec(self, cell: SweepCell, inputs: Configuration):
+        """The in-worker extraction spec of a cell, cached per grid point.
+
+        The expected predicate value is folded in up front, so every worker
+        scores correctness locally without seeing the predicate object.
+        """
+        key = (cell.protocol, cell.params_json, cell.population)
+        spec = self._analytics.get(key)
+        if spec is None:
+            from ..analytics.metrics import AnalyticsSpec
+
+            predicate = self.predicate(cell)
+            expected = None if predicate is None else predicate.evaluate(inputs)
+            spec = AnalyticsSpec(
+                histogram=True, consensus_times=True, expected_output=expected
+            )
+            self._analytics[key] = spec
+        return spec
 
     def scheduler(self, cell: SweepCell) -> Scheduler:
         scheduler = self._schedulers.get(cell.scheduler)

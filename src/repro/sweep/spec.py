@@ -47,11 +47,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..core.configuration import Configuration
+from ..core.predicates import Predicate
 from ..core.protocol import Protocol
-from ..protocols.flock_of_birds import flock_of_birds_protocol
-from ..protocols.majority import STATE_A, STATE_B, majority_protocol
-from ..protocols.modulo import modulo_protocol
-from ..protocols.succinct import succinct_leaderless_protocol
+from ..protocols.flock_of_birds import flock_of_birds_predicate, flock_of_birds_protocol
+from ..protocols.majority import STATE_A, STATE_B, majority_predicate, majority_protocol
+from ..protocols.modulo import modulo_predicate, modulo_protocol
+from ..protocols.succinct import (
+    succinct_leaderless_predicate,
+    succinct_leaderless_protocol,
+)
 from ..simulation.scheduler import Scheduler, TransitionScheduler, UniformScheduler
 from ..simulation.simulator import _ENGINES
 
@@ -62,6 +66,7 @@ __all__ = [
     "SweepSpec",
     "available_sweep_protocols",
     "build_inputs_for",
+    "build_predicate_for",
     "build_protocol_and_inputs",
     "register_sweep_protocol",
 ]
@@ -89,6 +94,9 @@ class _SweepProtocolEntry:
     build_inputs: Optional[
         Callable[[Protocol, int, Mapping[str, object]], Configuration]
     ] = None
+    build_predicate: Optional[
+        Callable[[int, Mapping[str, object]], Predicate]
+    ] = None
 
 
 _PROTOCOL_BUILDERS: Dict[str, _SweepProtocolEntry] = {}
@@ -100,6 +108,9 @@ def register_sweep_protocol(
     allowed_params: Sequence[str] = (),
     build_inputs: Optional[
         Callable[[Protocol, int, Mapping[str, object]], Configuration]
+    ] = None,
+    build_predicate: Optional[
+        Callable[[int, Mapping[str, object]], Predicate]
     ] = None,
 ) -> None:
     """Register a named protocol builder for use as a sweep-axis value.
@@ -118,6 +129,12 @@ def register_sweep_protocol(
     whole population axis instead of rebuilding it per population.  Only
     meaningful when the protocol itself does not depend on the population —
     true of all the built-ins.
+
+    ``build_predicate(population, params)``, when supplied, returns the
+    :class:`~repro.core.predicates.Predicate` the protocol stably computes
+    for the given parameters.  The sweep runner then scores every cell's
+    ensemble against it (the ``accuracy`` column); protocols without a
+    registered predicate simply leave the column empty.
     """
     if name in _PROTOCOL_BUILDERS:
         raise ValueError(f"sweep protocol {name!r} is already registered")
@@ -126,6 +143,7 @@ def register_sweep_protocol(
         builder=builder,
         allowed_params=frozenset(allowed_params),
         build_inputs=build_inputs,
+        build_predicate=build_predicate,
     )
 
 
@@ -179,7 +197,25 @@ def build_inputs_for(
     return inputs
 
 
-def _register_builtin(name, make_protocol, make_inputs, allowed_params):
+def build_predicate_for(
+    name: str, population: int, params: Optional[Mapping[str, object]] = None
+) -> Optional[Predicate]:
+    """The predicate a registered protocol stably computes, or ``None``.
+
+    ``None`` means the entry registered no predicate (accuracy columns stay
+    empty for it); an unknown protocol name raises.
+    """
+    params = dict(params or {})
+    entry = _PROTOCOL_BUILDERS.get(name)
+    if entry is None:
+        raise ValueError(f"unknown sweep protocol {name!r}")
+    if entry.build_predicate is None:
+        return None
+    return entry.build_predicate(population, params)
+
+
+def _register_builtin(name, make_protocol, make_inputs, allowed_params,
+                      make_predicate=None):
     """Register a built-in from a protocol factory and an inputs sizer."""
 
     def builder(population, params):
@@ -187,7 +223,8 @@ def _register_builtin(name, make_protocol, make_inputs, allowed_params):
         return protocol, make_inputs(protocol, population, params)
 
     register_sweep_protocol(
-        name, builder, allowed_params=allowed_params, build_inputs=make_inputs
+        name, builder, allowed_params=allowed_params, build_inputs=make_inputs,
+        build_predicate=make_predicate,
     )
 
 
@@ -208,6 +245,7 @@ _register_builtin(
     lambda params: majority_protocol(),
     _majority_inputs,
     allowed_params=("a_fraction",),
+    make_predicate=lambda population, params: majority_predicate(),
 )
 _register_builtin(
     "modulo",
@@ -216,18 +254,27 @@ _register_builtin(
     ),
     _counting_inputs,
     allowed_params=("modulus", "remainder"),
+    make_predicate=lambda population, params: modulo_predicate(
+        int(params.get("modulus", 3)), int(params.get("remainder", 1))
+    ),
 )
 _register_builtin(
     "succinct",
     lambda params: succinct_leaderless_protocol(int(params.get("threshold", 8))),
     _counting_inputs,
     allowed_params=("threshold",),
+    make_predicate=lambda population, params: succinct_leaderless_predicate(
+        int(params.get("threshold", 8))
+    ),
 )
 _register_builtin(
     "flock",
     lambda params: flock_of_birds_protocol(int(params.get("threshold", 5))),
     _counting_inputs,
     allowed_params=("threshold",),
+    make_predicate=lambda population, params: flock_of_birds_predicate(
+        int(params.get("threshold", 5))
+    ),
 )
 
 
@@ -310,6 +357,10 @@ class SweepCell:
         """Build the cell's protocol and population-sized inputs."""
         return build_protocol_and_inputs(self.protocol, self.population, self.params)
 
+    def build_predicate(self) -> Optional[Predicate]:
+        """The predicate the cell's protocol stably computes, if registered."""
+        return build_predicate_for(self.protocol, self.population, self.params)
+
     def make_scheduler(self) -> Scheduler:
         """A fresh scheduler instance of the cell's kind."""
         return SCHEDULERS[self.scheduler]()
@@ -343,6 +394,14 @@ class SweepSpec:
         Root of the per-cell seed derivation (see module docstring).
     max_steps, stability_window:
         The per-run budget, shared by every cell.
+    analytics:
+        When true, every cell's ensemble additionally extracts trajectory
+        analytics **in the workers** (via the batch layer's ``analytics=``
+        knob) and the store persists the derived columns — convergence-time
+        quantiles and the top fired transitions — alongside the convergence
+        statistics.  Predicate accuracy is scored regardless of this flag.
+        Analytics never change which simulations run or how they are seeded,
+        so flipping the flag cannot alter any statistic column.
 
     Instances are validated on construction and immutable; :meth:`cells`
     expands the grid deterministically, and :meth:`to_json` /
@@ -357,6 +416,7 @@ class SweepSpec:
     master_seed: int = 0
     max_steps: int = 100000
     stability_window: int = 200
+    analytics: bool = False
 
     def __post_init__(self):
         protocols: List[Tuple[str, Dict[str, object]]] = []
@@ -433,6 +493,10 @@ class SweepSpec:
             if len(set(axis)) != len(axis):
                 raise ValueError(f"duplicate values on the {axis_name} axis: {axis}")
 
+        if not isinstance(self.analytics, bool):
+            raise ValueError(
+                f"analytics must be a boolean, got {self.analytics!r}"
+            )
         for scalar in ("repetitions", "master_seed", "max_steps", "stability_window"):
             object.__setattr__(self, scalar, _integral(scalar, getattr(self, scalar)))
         if self.repetitions < 1:
@@ -500,6 +564,7 @@ class SweepSpec:
             "master_seed": self.master_seed,
             "max_steps": self.max_steps,
             "stability_window": self.stability_window,
+            "analytics": self.analytics,
         }
 
     @classmethod
@@ -507,6 +572,7 @@ class SweepSpec:
         known = {
             "protocols", "populations", "schedulers", "engines",
             "repetitions", "master_seed", "max_steps", "stability_window",
+            "analytics",
         }
         unknown = set(data) - known
         if unknown:

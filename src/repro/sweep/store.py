@@ -60,8 +60,21 @@ STATUS_DONE = "done"
 STATUS_ERROR = "error"
 _STATUSES = (STATUS_CREATED, STATUS_RUNNING, STATUS_DONE, STATUS_ERROR)
 
+#: The trajectory-analytics columns persisted per cell: predicate accuracy
+#: (scored for every sweep whose protocol registers a predicate), the
+#: convergence-time quantiles, and the top fired transitions — the latter two
+#: filled only when the spec enables analytics extraction.
+ANALYTICS_COLUMNS = (
+    "accuracy",
+    "consensus_q10",
+    "consensus_q50",
+    "consensus_q90",
+    "top_transitions",
+)
+
 #: The fixed column set: the cell identity, its keyfields, the seed and
-#: status, then the convergence statistics (None until the cell is done).
+#: status, then the convergence statistics and trajectory analytics (None
+#: until the cell is done).
 COLUMNS = (
     ("cell",) + KEYFIELDS
     + (
@@ -75,21 +88,25 @@ COLUMNS = (
         "min_steps",
         "max_steps",
         "mean_consensus_step",
-        "error",
     )
+    + ANALYTICS_COLUMNS
+    + ("error",)
 )
 
 _INT_COLUMNS = frozenset(
     {"population", "seed", "runs", "converged", "min_steps", "max_steps"}
 )
 _FLOAT_COLUMNS = frozenset(
-    {"convergence_rate", "mean_steps", "median_steps", "mean_consensus_step"}
+    {
+        "convergence_rate", "mean_steps", "median_steps", "mean_consensus_step",
+        "accuracy", "consensus_q10", "consensus_q50", "consensus_q90",
+    }
 )
 #: Statistic/diagnostic columns cleared when a cell (re)starts.
 _RESULT_COLUMNS = (
     "runs", "converged", "convergence_rate", "mean_steps", "median_steps",
-    "min_steps", "max_steps", "mean_consensus_step", "error",
-)
+    "min_steps", "max_steps", "mean_consensus_step",
+) + ANALYTICS_COLUMNS + ("error",)
 
 
 class StoreCorruptionError(ValueError):
@@ -174,14 +191,31 @@ class ResultStore:
         for column in _RESULT_COLUMNS:
             row[column] = None
 
-    def mark_done(self, cell_id: str, statistics) -> None:
-        """Record a completed cell's convergence statistics.
+    def mark_done(
+        self,
+        cell_id: str,
+        statistics,
+        accuracy: Optional[float] = None,
+        consensus_quantiles: Optional[Sequence[Optional[float]]] = None,
+        top_transitions: Optional[str] = None,
+    ) -> None:
+        """Record a completed cell's convergence statistics and analytics.
 
         ``statistics`` is a
         :class:`~repro.simulation.statistics.ConvergenceStatistics`.  Float
         columns are coerced to ``float`` (``statistics.median`` can be an
         int) so the rendered value is format-stable across resume cycles.
+        ``accuracy`` is the predicate-accuracy rate (None when the protocol
+        registers no predicate); ``consensus_quantiles`` the
+        (q10, q50, q90) convergence-time quantiles and ``top_transitions``
+        their rendered top-k histogram — both None when the sweep runs
+        without analytics extraction.
         """
+        if consensus_quantiles is not None and len(consensus_quantiles) != 3:
+            raise ValueError(
+                "consensus_quantiles must supply exactly (q10, q50, q90), "
+                f"got {len(consensus_quantiles)} values"
+            )
         row = self._row(cell_id)
         row["status"] = STATUS_DONE
         row["error"] = None
@@ -193,6 +227,14 @@ class ResultStore:
         row["min_steps"] = _optional_int(statistics.min_steps)
         row["max_steps"] = _optional_int(statistics.max_steps)
         row["mean_consensus_step"] = _optional_float(statistics.mean_consensus_step)
+        row["accuracy"] = _optional_float(accuracy)
+        quantiles = consensus_quantiles or (None, None, None)
+        row["consensus_q10"] = _optional_float(quantiles[0])
+        row["consensus_q50"] = _optional_float(quantiles[1])
+        row["consensus_q90"] = _optional_float(quantiles[2])
+        row["top_transitions"] = (
+            None if top_transitions is None else str(top_transitions)
+        )
 
     def mark_error(self, cell_id: str, message: str) -> None:
         """Record a failed cell (kept for inspection; retried on resume)."""

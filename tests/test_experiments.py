@@ -58,7 +58,7 @@ class TestHarness:
     def test_registry_contains_all_experiments(self):
         assert set(registry.ids()) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-            "E12",
+            "E12", "E13",
         }
 
     def test_registry_unknown_experiment(self):

@@ -8,8 +8,11 @@ agreement would still hold while every downstream number silently changed.
 The golden files under ``tests/golden/`` pin today's trajectories to disk:
 for a committed (protocol, population, scheduler, seed, budget) each file
 records the transition-name order, the exact sequence of fired transition
-indices, and the run's final summary.  Every engine must reproduce each
-golden bit for bit, so RNG-discipline drift is caught by tier 1 directly.
+indices, the run's final summary, and the **trajectory analytics** extracted
+from the run (firing histogram, first/stable consensus times, predicate
+correctness, consensus-fraction curve).  Every engine must reproduce each
+golden bit for bit, so RNG-discipline drift — and analytics-extraction
+drift — is caught by tier 1 directly.
 
 The goldens are deliberately hash-seed- and platform-independent: transition
 indices follow the net's construction-ordered transition tuple, and the
@@ -28,9 +31,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.analytics import AnalyticsSpec, extract_run_metrics
 from repro.simulation import Simulator
 from repro.simulation.vectorized import numpy_available
-from repro.sweep import SCHEDULERS, build_protocol_and_inputs
+from repro.sweep import SCHEDULERS, build_predicate_for, build_protocol_and_inputs
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -79,8 +83,28 @@ def _golden_paths():
     return sorted(GOLDEN_DIR.glob("*.json"))
 
 
+def _analytics_spec(case, inputs):
+    """The fixed extraction spec of a case: everything on, checkpoints
+    derived from the step budget, correctness scored against the registered
+    predicate — so the goldens also pin the analytics subsystem."""
+    budget = case["max_steps"]
+    checkpoints = tuple(
+        sorted({0, budget // 8, budget // 4, budget // 2, budget})
+    )
+    predicate = build_predicate_for(
+        case["protocol"], case["population"], case["params"]
+    )
+    expected = None if predicate is None else predicate.evaluate(inputs)
+    return AnalyticsSpec(
+        histogram=True,
+        consensus_times=True,
+        curve_checkpoints=checkpoints,
+        expected_output=expected,
+    )
+
+
 def _execute(case, engine):
-    """Run a case on one engine, returning (transition names, fired, summary)."""
+    """Run a case on one engine: (transition names, fired, summary, metrics)."""
     protocol, inputs = build_protocol_and_inputs(
         case["protocol"], case["population"], case["params"]
     )
@@ -109,7 +133,19 @@ def _execute(case, engine):
     transition_names = [
         transition.name for transition in protocol.petri_net.transitions
     ]
-    return transition_names, list(result.trajectory.transition_indices), summary
+    metrics = _normalize(
+        extract_run_metrics(result, protocol, _analytics_spec(case, inputs))
+    )
+    return (
+        transition_names, list(result.trajectory.transition_indices), summary,
+        metrics,
+    )
+
+
+def _normalize(metrics):
+    """Metric dicts as their JSON image (tuples -> lists), for comparison
+    against the decoded golden payload."""
+    return json.loads(json.dumps(metrics))
 
 
 @pytest.fixture(params=_golden_paths(), ids=lambda path: path.stem)
@@ -135,13 +171,40 @@ class TestGoldenTrajectories:
     def test_engine_reproduces_golden(self, golden, engine):
         if engine == "numpy" and not numpy_available():
             pytest.skip("NumPy engine requires the optional 'sim' extra")
-        _, fired, summary = _execute(golden, engine)
+        _, fired, summary, _ = _execute(golden, engine)
         assert fired == golden["fired"], (
             f"engine {engine!r} fired a different transition sequence than the "
             f"golden ({golden['protocol']}); if the change of RNG discipline is "
             "intentional, regenerate tests/golden (see module docstring)"
         )
         assert summary == golden["summary"]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_engine_reproduces_golden_metrics(self, golden, engine):
+        # The analytics pin: identical trajectories must extract into
+        # identical metric dicts on every engine — histogram, consensus
+        # times, correctness and curve, bit for bit against the committed
+        # values.
+        if engine == "numpy" and not numpy_available():
+            pytest.skip("NumPy engine requires the optional 'sim' extra")
+        _, _, _, metrics = _execute(golden, engine)
+        assert metrics == golden["metrics"], (
+            f"engine {engine!r} extracted different analytics than the golden "
+            f"({golden['protocol']}); if the change of metric semantics is "
+            "intentional, regenerate tests/golden (see module docstring)"
+        )
+
+    def test_golden_metrics_are_consistent_with_summaries(self, golden):
+        # Internal consistency of the committed payloads themselves.
+        metrics = golden["metrics"]
+        assert metrics["steps"] == golden["summary"]["steps"]
+        assert metrics["consensus"] == golden["summary"]["consensus"]
+        assert sum(metrics["histogram"]) == len(golden["fired"])
+        if metrics["time_to_first_consensus"] is not None:
+            assert (
+                metrics["time_to_first_consensus"]
+                <= metrics["time_to_stable_consensus"]
+            )
 
     def test_goldens_record_nontrivial_runs(self, golden):
         # Guard against regenerating into degenerate pins (e.g. a population
@@ -155,12 +218,10 @@ def regenerate():
     GOLDEN_DIR.mkdir(exist_ok=True)
     for definition in CASE_DEFINITIONS:
         case = {key: value for key, value in definition.items() if key != "name"}
-        transitions, fired, summary = _execute(case, "reference")
+        transitions, fired, summary, metrics = _execute(case, "reference")
         for engine in ("compiled",) + (("numpy",) if numpy_available() else ()):
-            check_transitions, check_fired, check_summary = _execute(case, engine)
-            if (check_transitions, check_fired, check_summary) != (
-                transitions, fired, summary
-            ):
+            checked = _execute(case, engine)
+            if checked != (transitions, fired, summary, metrics):
                 raise SystemExit(
                     f"engines disagree on {definition['name']}; refusing to "
                     "regenerate goldens from divergent engines"
@@ -169,6 +230,7 @@ def regenerate():
         payload["transitions"] = transitions
         payload["fired"] = fired
         payload["summary"] = summary
+        payload["metrics"] = metrics
         path = GOLDEN_DIR / f"{definition['name']}.json"
         path.write_text(
             json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"

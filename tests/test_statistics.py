@@ -128,3 +128,10 @@ class TestInteractionsPerSecond:
             interactions_per_second([_result(10)], 0.0)
         with pytest.raises(ValueError, match="positive"):
             interactions_per_second([_result(10)], -1.0)
+
+    def test_rejects_empty_batch(self):
+        # Matching the summarize_runs([]) convention: a throughput over no
+        # runs is a caller bug (usually an ensemble that never ran), not a
+        # silent 0.0.
+        with pytest.raises(ValueError, match="empty"):
+            interactions_per_second([], 1.0)
