@@ -1,0 +1,85 @@
+"""Central runtime configuration: the only sanctioned environment reader.
+
+Every knob the library takes from the process environment is read *here* and
+nowhere else.  This is a determinism measure, not a convenience: environment
+reads scattered across modules are invisible inputs to the simulation — two
+"identical" runs can diverge because a worker inherited a variable the caller
+never knew was consulted.  Funnelling them through one module keeps the full
+set of environmental inputs auditable at a glance, and the determinism linter
+(:mod:`repro.qa.determinism`, rule ``DET103``) enforces the funnel statically:
+``os.environ`` / ``os.getenv`` anywhere else in ``src/repro`` is a lint error.
+
+The recognized variables:
+
+``REPRO_FORCE_ENGINE``
+    Overrides the ``engine="auto"`` choice of
+    :class:`~repro.simulation.simulator.Simulator` (one of ``reference`` /
+    ``compiled`` / ``numpy`` / ``auto``).  Explicit ``engine=`` arguments are
+    never overridden.  Read through :func:`forced_engine`.
+
+``REPRO_BATCH_DEFAULT_WORKERS``
+    Default worker count of the process-backend batch layer
+    (:mod:`repro.simulation.batch`) when ``max_workers`` is not given.  Read
+    through :func:`default_batch_workers`.
+
+Both helpers read the environment on every call (no caching), so tests can
+monkeypatch ``os.environ`` and worker processes inherit whatever the parent
+exported at spawn time — the behavior the CI jobs pin.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+__all__ = [
+    "BATCH_WORKERS_ENV",
+    "FORCE_ENGINE_ENV",
+    "default_batch_workers",
+    "forced_engine",
+]
+
+#: Environment override consulted by ``engine="auto"`` only (see
+#: :func:`forced_engine`).
+FORCE_ENGINE_ENV = "REPRO_FORCE_ENGINE"
+
+#: Environment override for the default batch worker count (used by the CI
+#: batch smoke job to pin the suite to a known degree of parallelism).
+BATCH_WORKERS_ENV = "REPRO_BATCH_DEFAULT_WORKERS"
+
+
+def forced_engine(valid: Sequence[str]) -> Optional[str]:
+    """The ``REPRO_FORCE_ENGINE`` override, validated against ``valid``.
+
+    Returns ``None`` when the variable is unset, empty, or explicitly
+    ``"auto"`` (auto is the absence of a force).  Any other value must be one
+    of ``valid`` or a :class:`ValueError` names the variable — a typo'd CI
+    job must fail loudly rather than silently test the wrong engine.
+    """
+    forced = os.environ.get(FORCE_ENGINE_ENV)
+    if not forced or forced == "auto":
+        return None
+    if forced not in valid:
+        raise ValueError(
+            f"{FORCE_ENGINE_ENV} must be one of {tuple(valid)}, got {forced!r}"
+        )
+    return forced
+
+
+def default_batch_workers() -> int:
+    """The default batch worker count: the environment override, else the CPU
+    count (at least 1).
+
+    A non-integer ``REPRO_BATCH_DEFAULT_WORKERS`` raises a :class:`ValueError`
+    naming the variable; values below 1 are clamped to 1.
+    """
+    override = os.environ.get(BATCH_WORKERS_ENV)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            raise ValueError(
+                f"{BATCH_WORKERS_ENV} must be an integer worker count, "
+                f"got {override!r}"
+            ) from None
+    return os.cpu_count() or 1

@@ -290,7 +290,9 @@ def component_control_net(
         restrict_states = set(restriction)
         restricted_net = net
     edges: List[Edge] = []
-    for source in component_set:
+    # Canonical source order: iterating the raw set would make the edge list
+    # (and anything downstream that enumerates it) depend on hash order.
+    for source in sorted(component_set, key=str):
         for transition in net.transitions:
             effective = (
                 transition if restrict_states is None else transition.restrict(restrict_states)

@@ -58,7 +58,7 @@ class Configuration:
 
     __slots__ = ("_counts", "_hash", "_size")
 
-    def __init__(self, counts: Optional[Mapping[State, int]] = None):
+    def __init__(self, counts: Optional[Mapping[State, int]] = None) -> None:
         clean: Dict[State, int] = {}
         if counts:
             for state, count in counts.items():

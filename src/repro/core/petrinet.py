@@ -114,7 +114,7 @@ class PetriNet:
         transitions: Iterable[Transition] = (),
         states: Iterable[State] = (),
         name: Optional[str] = None,
-    ):
+    ) -> None:
         unique: List[Transition] = []
         seen: Set[Transition] = set()
         for transition in transitions:

@@ -16,7 +16,7 @@ combinations.  All of them are stably computable by population protocols
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from .configuration import Configuration, State
 
@@ -77,7 +77,9 @@ def _enumerate_configurations(
         yield Configuration.zero()
         return
 
-    def recurse(index: int, remaining: int, current: Dict[State, int]):
+    def recurse(
+        index: int, remaining: int, current: Dict[State, int]
+    ) -> Iterator[Configuration]:
         if index == len(states):
             yield Configuration(current)
             return
@@ -97,7 +99,7 @@ class CountingPredicate(Predicate):
     ``I = {i}`` and ``phi(rho) = 1`` iff ``rho(i) >= n``.
     """
 
-    def __init__(self, state: State, threshold: int):
+    def __init__(self, state: State, threshold: int) -> None:
         if threshold < 1:
             raise ValueError("counting predicates require a positive threshold n >= 1")
         self.state = state
@@ -129,7 +131,7 @@ class ThresholdPredicate(Predicate):
     atom used by the succinct constructions of Blondin, Esparza & Jaax.
     """
 
-    def __init__(self, coefficients: Mapping[State, int], constant: int):
+    def __init__(self, coefficients: Mapping[State, int], constant: int) -> None:
         self.coefficients: Dict[State, int] = dict(coefficients)
         self.constant = constant
 
@@ -156,7 +158,7 @@ class ThresholdPredicate(Predicate):
 class ModuloPredicate(Predicate):
     """A remainder predicate ``sum_i a_i * x_i = r (mod m)``."""
 
-    def __init__(self, coefficients: Mapping[State, int], modulus: int, remainder: int):
+    def __init__(self, coefficients: Mapping[State, int], modulus: int, remainder: int) -> None:
         if modulus < 2:
             raise ValueError("modulus must be at least 2")
         self.coefficients: Dict[State, int] = dict(coefficients)
@@ -184,7 +186,7 @@ class ModuloPredicate(Predicate):
 class ConstantPredicate(Predicate):
     """A predicate with a constant truth value over a given set of initial states."""
 
-    def __init__(self, value: int, initial_states: Iterable[State] = ()):
+    def __init__(self, value: int, initial_states: Iterable[State] = ()) -> None:
         if value not in (0, 1):
             raise ValueError("constant predicates take the value 0 or 1")
         self.value = value
@@ -204,7 +206,7 @@ class ConstantPredicate(Predicate):
 class NotPredicate(Predicate):
     """Negation of a predicate."""
 
-    def __init__(self, inner: Predicate):
+    def __init__(self, inner: Predicate) -> None:
         self.inner = inner
 
     @property
@@ -221,7 +223,7 @@ class NotPredicate(Predicate):
 class _BinaryPredicate(Predicate):
     """Shared plumbing for binary boolean combinations."""
 
-    def __init__(self, left: Predicate, right: Predicate):
+    def __init__(self, left: Predicate, right: Predicate) -> None:
         self.left = left
         self.right = right
 

@@ -80,7 +80,7 @@ class AdditivePreorder(abc.ABC):
 class PetriNetPreorder(AdditivePreorder):
     """The reachability relation ``--T*-->`` of a Petri net, as an additive preorder."""
 
-    def __init__(self, net: PetriNet, max_nodes: Optional[int] = None):
+    def __init__(self, net: PetriNet, max_nodes: Optional[int] = None) -> None:
         self.net = net
         self.max_nodes = max_nodes
 
@@ -118,7 +118,7 @@ class RelationPreorder(AdditivePreorder):
         successor_fn: Optional[Callable[[Configuration], Iterable[Configuration]]] = None,
         width: Optional[int] = None,
         name: Optional[str] = None,
-    ):
+    ) -> None:
         self._relates_fn = relates_fn
         self._successor_fn = successor_fn
         self._width = width

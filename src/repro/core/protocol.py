@@ -78,7 +78,7 @@ class Protocol:
         initial_states: Iterable[State],
         output: Mapping[State, Output],
         name: Optional[str] = None,
-    ):
+    ) -> None:
         self.states: FrozenSet[State] = frozenset(states)
         if not self.states:
             raise ValueError("a protocol needs at least one state")

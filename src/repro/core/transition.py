@@ -53,7 +53,7 @@ class Transition:
         pre: ConfigurationLike,
         post: ConfigurationLike,
         name: Optional[str] = None,
-    ):
+    ) -> None:
         self.pre = _as_configuration(pre)
         self.post = _as_configuration(post)
         self.name = name

@@ -32,10 +32,10 @@ class ExperimentTable:
         """
         missing = set(self.columns) - set(values)
         if missing:
-            raise ValueError(f"row is missing columns: {sorted(missing)}")
+            raise ValueError(f"row is missing columns: {sorted(missing, key=str)}")
         unexpected = set(values) - set(self.columns)
         if unexpected:
-            raise ValueError(f"row has unexpected columns: {sorted(unexpected)}")
+            raise ValueError(f"row has unexpected columns: {sorted(unexpected, key=str)}")
         self.rows.append(values)
 
     def column(self, name: str) -> List[object]:

@@ -49,11 +49,11 @@ this).
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 import random
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..config import default_batch_workers as _default_max_workers
 from ..core.configuration import Configuration
 from ..core.protocol import Protocol
 from .scheduler import Scheduler
@@ -64,22 +64,10 @@ __all__ = ["BatchRunner", "WorkerPool", "run_ensemble"]
 
 _BACKENDS = ("serial", "process")
 
-#: Environment override for the default worker count (used by the CI batch
-#: smoke job to pin the suite to a known degree of parallelism).
-_WORKERS_ENV_VAR = "REPRO_BATCH_DEFAULT_WORKERS"
-
-
-def _default_max_workers() -> int:
-    override = os.environ.get(_WORKERS_ENV_VAR)
-    if override:
-        try:
-            return max(1, int(override))
-        except ValueError:
-            raise ValueError(
-                f"{_WORKERS_ENV_VAR} must be an integer worker count, "
-                f"got {override!r}"
-            ) from None
-    return os.cpu_count() or 1
+# The default worker count honours the ``REPRO_BATCH_DEFAULT_WORKERS``
+# environment override (used by the CI batch smoke job to pin the suite to a
+# known degree of parallelism), read through the sanctioned
+# :mod:`repro.config` helper.
 
 
 # ----------------------------------------------------------------------
@@ -107,7 +95,7 @@ def _dumps_for_workers(payload: object) -> bytes:
         ) from error
 
 
-def _validate_analytics(analytics, process_backend: bool) -> None:
+def _validate_analytics(analytics: Any, process_backend: bool) -> None:
     """Reject unusable analytics specs at the call site, not inside a worker.
 
     The spec must expose ``extract(result, protocol)`` (canonically an
@@ -183,7 +171,7 @@ def _initialize_worker(spec_bytes: Optional[bytes]) -> None:
         _worker_simulator(spec_bytes)
 
 
-def _run_worker_task(task) -> List[SimulationResult]:
+def _run_worker_task(task: Tuple[Any, ...]) -> List[SimulationResult]:
     """Run one chunk of seeds on the worker's cached simulator for the spec.
 
     ``task`` carries the spec alongside the per-ensemble parameters (initial
@@ -209,7 +197,7 @@ def _make_tasks(
     stability_window: int,
     record_trajectory: bool,
     trajectory_capacity: int,
-    analytics=None,
+    analytics: Any = None,
 ) -> List[tuple]:
     return [
         (spec_bytes, configuration, chunk, max_steps, stability_window,
@@ -264,7 +252,7 @@ class WorkerPool:
         max_workers: Optional[int] = None,
         start_method: Optional[str] = None,
         warm_spec_bytes: Optional[bytes] = None,
-    ):
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be at least 1, got {max_workers}")
         self.workers = (
@@ -289,7 +277,7 @@ class WorkerPool:
                 "WorkerPool is closed; construct a new pool for further ensembles"
             )
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> Any:
         if self._pool is None:
             context = multiprocessing.get_context(self.start_method)
             self._pool = context.Pool(
@@ -319,10 +307,10 @@ class WorkerPool:
         self._check_open()
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC timing dependent
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         pool = getattr(self, "_pool", None)
         if pool is not None:
             try:
@@ -346,7 +334,7 @@ class WorkerPool:
         chunk_size: Optional[int] = None,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-        analytics=None,
+        analytics: Any = None,
         spec_bytes: Optional[bytes] = None,
     ) -> List[SimulationResult]:
         """Run one repetition per seed over the pool (index-aligned results).
@@ -408,7 +396,7 @@ def run_ensemble(
     start_method: Optional[str] = None,
     record_trajectory: bool = False,
     trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-    analytics=None,
+    analytics: Any = None,
     _serial_simulator: Optional[Simulator] = None,
 ) -> List[SimulationResult]:
     """Run one independent repetition per seed and return them in seed order.
@@ -553,7 +541,7 @@ class BatchRunner:
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         start_method: Optional[str] = None,
-    ):
+    ) -> None:
         _validate_batch_options(backend, max_workers, chunk_size)
         # Fail fast: validate scheduler/engine compatibility (by building a
         # simulator in-process) and, for the process backend, that the workers
@@ -626,10 +614,10 @@ class BatchRunner:
             )
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
         self.close()
 
-    def __del__(self):  # pragma: no cover - GC timing dependent
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         # Safety net for runners abandoned without close(); deterministic
         # cleanup is the caller's job (close() or the context manager).
         pool = getattr(self, "_pool", None)
@@ -658,7 +646,7 @@ class BatchRunner:
         stability_window: int = 200,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-        analytics=None,
+        analytics: Any = None,
     ) -> List[SimulationResult]:
         """Run ``repetitions`` independent executions seeded from ``seed``."""
         if repetitions < 0:
@@ -683,7 +671,7 @@ class BatchRunner:
         stability_window: int = 200,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-        analytics=None,
+        analytics: Any = None,
     ) -> List[SimulationResult]:
         """Run one repetition per explicit seed (index-aligned results).
 

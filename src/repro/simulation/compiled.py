@@ -40,7 +40,7 @@ transitions than the unrolled dispatch can stomach (see
 from __future__ import annotations
 
 from math import comb
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.configuration import Configuration, State
 from ..core.petrinet import PetriNet
@@ -68,6 +68,11 @@ OUT_IGNORED = 3
 #: :mod:`repro.simulation.vectorized`).
 _KINDS = ("uniform", "transition")
 
+#: The signature of a generated stepper: ``(steps, consensus_value,
+#: consensus_since, terminated)`` from a mutated counts array (see
+#: :meth:`CompiledNet.stepper` for the parameter contract).
+StepperFn = Callable[..., Tuple[int, int, int, bool]]
+
 
 def check_kind(kind: str) -> None:
     """Reject scheduler disciplines the dense engines don't implement."""
@@ -90,10 +95,19 @@ class CompiledNet:
         which caches instances per universe.
     """
 
-    def __init__(self, net: PetriNet, extra_states: Iterable[State] = ()):
+    def __init__(self, net: PetriNet, extra_states: Iterable[State] = ()) -> None:
         self.net = net
         universe = set(net.states) | set(extra_states)
         self.states: Tuple[State, ...] = tuple(sorted(universe, key=str))
+        if len({str(state) for state in self.states}) != len(self.states):
+            # The dense index order is ``sorted(..., key=str)``; states whose
+            # renderings collide would be ordered by hash-dependent tie-break,
+            # silently permuting indices between runs — the exact hazard the
+            # cross-engine determinism contract forbids.
+            raise ValueError(
+                "states must have distinct string renderings for a stable "
+                "dense index order"
+            )
         self.index_of: Dict[State, int] = {state: i for i, state in enumerate(self.states)}
 
         pre_lists: List[Tuple[Tuple[int, int], ...]] = []
@@ -127,10 +141,11 @@ class CompiledNet:
             hit = set()
             for index, _ in delta:
                 hit.update(touchers[index])
+            # qa: allow[DET202] -- dense int transition indices, totally ordered
             affected.append(tuple(sorted(hit)))
         self.affected: Tuple[Tuple[int, ...], ...] = tuple(affected)
 
-        self._steppers: Dict[Tuple[str, Tuple[int, ...], bool], object] = {}
+        self._steppers: Dict[Tuple[str, Tuple[int, ...], bool], StepperFn] = {}
 
     def __getstate__(self) -> Dict[str, object]:
         """Drop the generated steppers: ``exec``-compiled functions cannot be
@@ -228,7 +243,7 @@ class CompiledNet:
     # ------------------------------------------------------------------
     # Stepper generation
     # ------------------------------------------------------------------
-    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False):
+    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> StepperFn:
         """The generated simulation loop for a scheduler ``kind`` and output classes.
 
         The function has the signature::
@@ -255,6 +270,19 @@ class CompiledNet:
             stepper = _generate_stepper(self, kind, key[1], record=key[2])
             self._steppers[key] = stepper
         return stepper
+
+    def stepper_source(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> str:
+        """The generated Python source of the specialized stepper.
+
+        Always emits the straight-line code of *this* class's generator, even
+        on subclasses that override :meth:`stepper` with non-generated
+        callables (the NumPy engine's closures carry no source).  This is the
+        entry point of the codegen auditor (:mod:`repro.qa.codegen_audit`);
+        it regenerates rather than consulting the stepper cache so auditing
+        never perturbs the functions actually used for simulation.
+        """
+        stepper = _generate_stepper(self, kind, tuple(classes), record=record)
+        return stepper.__source__  # type: ignore[attr-defined]
 
 
 # Type alias only used in docstrings/signatures above; kept loose on purpose
@@ -320,10 +348,6 @@ def _fire_statements(
     prefix of the dispatch branch.
     """
     statements: List[str] = []
-    if record and kind == "uniform":
-        # The transition-kind loop records the chosen index once before the
-        # dispatch; the uniform dispatch only knows it inside the branch.
-        statements.append(f"ring[rpos] = {t}")
     for index, diff in net.delta_lists[t]:
         statements.append(f"c{index} += {diff}" if diff > 0 else f"c{index} -= {-diff}")
     counters_changed = any(consensus_deltas[t])
@@ -359,10 +383,19 @@ def _fire_statements(
         statements.extend(_consensus_value_lines(has_undef))
     if not statements:
         statements.append("pass")
+    if record and kind == "uniform":
+        # The transition-kind loop records the chosen index once before the
+        # dispatch; the uniform dispatch only knows it inside the branch.
+        # Prepended after the ``pass`` fallback so the recording variant is
+        # exactly the fast variant plus ring writes (the codegen auditor
+        # checks this by stripping them).
+        statements.insert(0, f"ring[rpos] = {t}")
     return statements
 
 
-def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], record: bool = False):
+def _generate_stepper(
+    net: CompiledNet, kind: str, classes: Tuple[int, ...], record: bool = False
+) -> StepperFn:
     """Emit and compile the specialized simulation loop for ``net``."""
     check_kind(kind)
     consensus_deltas = net.consensus_deltas(classes)
@@ -371,8 +404,9 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], rec
     has_undef = OUT_UNDEFINED in classes
     num_transitions = net.num_transitions
     read = {index for pre in net.pre_lists for index, _ in pre}
+    # qa: allow[DET202] -- dense int state indices, totally ordered
     written = sorted({index for delta in net.delta_lists for index, _ in delta})
-    touched = sorted(read | set(written))
+    touched = sorted(read | set(written))  # qa: allow[DET202] -- int indices
     extra_params = ", ring, capacity" if record else ""
 
     lines: List[str] = []
@@ -463,7 +497,7 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], rec
     emit("    return step, consensus_value, consensus_since, terminated")
 
     source = "\n".join(lines)
-    namespace = {"comb": comb}
+    namespace: Dict[str, Any] = {"comb": comb}
     label = f"{net.net.name or 'net'}/{kind}" + ("/recording" if record else "")
     try:
         exec(compile(source, f"<compiled stepper: {label}>", "exec"), namespace)
@@ -478,4 +512,15 @@ def _generate_stepper(net: CompiledNet, kind: str, classes: Tuple[int, ...], rec
         ) from None
     stepper = namespace["__compiled_stepper"]
     stepper.__source__ = source  # kept for debugging and the test suite
+    # Structured metadata for the codegen auditor (repro.qa.codegen_audit):
+    # what the generator *intended*, so the auditor can check the emitted
+    # source against it instead of re-deriving the dense mapping.
+    stepper.__qa_meta__ = {
+        "label": label,
+        "kind": kind,
+        "record": record,
+        "num_transitions": num_transitions,
+        "touched": tuple(touched),
+        "written": tuple(written),
+    }
     return stepper

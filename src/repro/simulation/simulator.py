@@ -44,15 +44,15 @@ uses to drive the whole suite through one engine.
 
 from __future__ import annotations
 
-import os
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..config import forced_engine
 from ..core.configuration import Configuration
 from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
-from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO
+from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO, CompiledNet, StepperFn
 from .scheduler import Scheduler, UniformScheduler
 from .trajectory import DEFAULT_TRAJECTORY_CAPACITY, Trajectory
 from .vectorized import numpy_available
@@ -73,12 +73,12 @@ _ENGINES = ("auto", "compiled", "numpy", "reference")
 #: paper on the compiled engine.
 AUTO_VECTORIZE_THRESHOLD = 256
 
-#: Environment override consulted by ``engine="auto"`` only: one of
-#: ``reference`` / ``compiled`` / ``numpy`` / ``auto``.  Explicit ``engine=``
-#: arguments are never overridden, so engine-equivalence tests keep testing
-#: what they name.  Worker processes inherit the environment, so a forced
-#: engine applies to process-backend ensembles too.
-_FORCE_ENGINE_ENV = "REPRO_FORCE_ENGINE"
+# The ``engine="auto"`` override (one of ``reference`` / ``compiled`` /
+# ``numpy`` / ``auto``) is the ``REPRO_FORCE_ENGINE`` environment variable,
+# read through the sanctioned :mod:`repro.config` helper.  Explicit
+# ``engine=`` arguments are never overridden, so engine-equivalence tests
+# keep testing what they name.  Worker processes inherit the environment, so
+# a forced engine applies to process-backend ensembles too.
 
 
 @dataclass
@@ -139,7 +139,7 @@ class Simulator:
         scheduler: Optional[Scheduler] = None,
         seed: Optional[int] = None,
         engine: str = "auto",
-    ):
+    ) -> None:
         if protocol.petri_net is None:
             raise ValueError("simulation requires a Petri-net based protocol")
         if engine not in _ENGINES:
@@ -150,10 +150,10 @@ class Simulator:
         self.rng = random.Random(seed)
         self.engine = engine
 
-        self._compiled = None
-        self._classes = None
-        self._stepper = None
-        self._kind = None
+        self._compiled: Optional[CompiledNet] = None
+        self._classes: Optional[Tuple[int, ...]] = None
+        self._stepper: Optional[StepperFn] = None
+        self._kind: Optional[str] = None
         if engine != "reference":
             kind = self.scheduler.compiled_kind()
             if kind is None:
@@ -183,12 +183,8 @@ class Simulator:
         """
         if engine != "auto":
             return engine
-        forced = os.environ.get(_FORCE_ENGINE_ENV)
-        if forced and forced != "auto":
-            if forced not in _ENGINES:
-                raise ValueError(
-                    f"{_FORCE_ENGINE_ENV} must be one of {_ENGINES}, got {forced!r}"
-                )
+        forced = forced_engine(_ENGINES)
+        if forced is not None:
             # Forcing "numpy" without NumPy installed raises (loudly, from
             # the VectorizedNet constructor) rather than silently testing a
             # different engine than the CI job asked for.
@@ -426,7 +422,7 @@ class Simulator:
         stability_window: int,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-        analytics=None,
+        analytics: Any = None,
     ) -> List[SimulationResult]:
         """Run one repetition per seed from ``configuration``, in seed order.
 
@@ -520,7 +516,7 @@ class Simulator:
         chunk_size: Optional[int] = None,
         record_trajectory: bool = False,
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-        analytics=None,
+        analytics: Any = None,
     ) -> List[SimulationResult]:
         """Simulate several independent executions from the same input.
 

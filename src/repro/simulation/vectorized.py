@@ -51,16 +51,18 @@ without it; constructing a :class:`VectorizedNet` (or asking for
 from __future__ import annotations
 
 from math import factorial
-from typing import Iterable, Tuple
+from typing import Any, Iterable, List, Optional, Tuple
+
+import random
 
 from ..core.configuration import State
 from ..core.petrinet import PetriNet
-from .compiled import CompiledNet, check_kind
+from .compiled import CompiledNet, StepperFn, check_kind
 
 try:  # pragma: no cover - exercised through both CI jobs
     import numpy as _np
 except ImportError:  # pragma: no cover
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 __all__ = ["VectorizedNet", "numpy_available", "require_numpy"]
 
@@ -77,7 +79,7 @@ def numpy_available() -> bool:
     return _np is not None
 
 
-def require_numpy():
+def require_numpy() -> Any:
     """Return the numpy module or raise a clear ImportError."""
     if _np is None:
         raise ImportError(_NUMPY_HINT)
@@ -103,7 +105,7 @@ class VectorizedNet(CompiledNet):
     processes rebuild nothing but the closures.
     """
 
-    def __init__(self, net: PetriNet, extra_states: Iterable[State] = ()):
+    def __init__(self, net: PetriNet, extra_states: Iterable[State] = ()) -> None:
         np = require_numpy()
         super().__init__(net, extra_states=extra_states)
 
@@ -210,7 +212,7 @@ class VectorizedNet(CompiledNet):
     # ------------------------------------------------------------------
     # Vector kernels
     # ------------------------------------------------------------------
-    def _binomials(self, values, mults, divisors, max_mult: int):
+    def _binomials(self, values: Any, mults: Any, divisors: Any, max_mult: int) -> Any:
         """Elementwise ``C(values, mults)``, exact in int64.
 
         ``C(c, k) = c (c-1) ... (c-k+1) / k!``; the falling factorial passes
@@ -226,7 +228,7 @@ class VectorizedNet(CompiledNet):
         terms //= divisors
         return terms
 
-    def full_weights(self, counts_array):
+    def full_weights(self, counts_array: Any) -> Any:
         """The uniform-scheduler weight of every transition, as int64."""
         np = _np
         if self.num_transitions == 0:
@@ -244,7 +246,7 @@ class VectorizedNet(CompiledNet):
         weights[self._empty_pre] = 1
         return weights
 
-    def full_enabled(self, counts_array):
+    def full_enabled(self, counts_array: Any) -> Any:
         """The enabledness of every transition, as a bool vector."""
         np = _np
         if self.num_transitions == 0:
@@ -261,7 +263,7 @@ class VectorizedNet(CompiledNet):
     # ------------------------------------------------------------------
     # Steppers
     # ------------------------------------------------------------------
-    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False):
+    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> StepperFn:
         """A closure with the exact signature and semantics of the compiled
         steppers (see :meth:`CompiledNet.stepper`), implemented with NumPy
         kernels instead of generated code, and dropped on pickling the same
@@ -280,7 +282,7 @@ class VectorizedNet(CompiledNet):
             self._steppers[key] = stepper
         return stepper
 
-    def _make_uniform_stepper(self, classes: Tuple[int, ...]):
+    def _make_uniform_stepper(self, classes: Tuple[int, ...]) -> StepperFn:
         np = _np
         plans = self._plans
         consensus_deltas = self.consensus_deltas(classes)
@@ -301,9 +303,16 @@ class VectorizedNet(CompiledNet):
         )
 
         def stepper(
-            counts, rng, max_steps, stability_window, one, zero, undef,
-            ring=None, capacity=0,
-        ):
+            counts: List[int],
+            rng: random.Random,
+            max_steps: int,
+            stability_window: int,
+            one: int,
+            zero: int,
+            undef: int,
+            ring: Optional[List[int]] = None,
+            capacity: int = 0,
+        ) -> Tuple[int, int, int, bool]:
             # The bound must be computed in Python integers, before the int64
             # conversion: an int64 sum of an astronomical population would
             # itself wrap and bypass the guard.
@@ -391,15 +400,22 @@ class VectorizedNet(CompiledNet):
 
         return stepper
 
-    def _make_transition_stepper(self, classes: Tuple[int, ...]):
+    def _make_transition_stepper(self, classes: Tuple[int, ...]) -> StepperFn:
         np = _np
         plans = self._plans
         consensus_deltas = self.consensus_deltas(classes)
 
         def stepper(
-            counts, rng, max_steps, stability_window, one, zero, undef,
-            ring=None, capacity=0,
-        ):
+            counts: List[int],
+            rng: random.Random,
+            max_steps: int,
+            stability_window: int,
+            one: int,
+            zero: int,
+            undef: int,
+            ring: Optional[List[int]] = None,
+            capacity: int = 0,
+        ) -> Tuple[int, int, int, bool]:
             arr = np.array(counts, dtype=np.int64)
             enabled = self.full_enabled(arr)
             choice = rng.choice

@@ -167,7 +167,7 @@ def build_protocol_and_inputs(
     if unknown:
         raise ValueError(
             f"sweep protocol {name!r} does not accept parameters "
-            f"{sorted(unknown)} (allowed: {sorted(entry.allowed_params)})"
+            f"{sorted(unknown, key=str)} (allowed: {sorted(entry.allowed_params, key=str)})"
         )
     if population < 1:
         raise ValueError(f"population must be at least 1, got {population}")
@@ -435,7 +435,7 @@ class SweepSpec:
             if unknown:
                 raise ValueError(
                     f"sweep protocol {name!r} does not accept parameters "
-                    f"{sorted(unknown)}"
+                    f"{sorted(unknown, key=str)}"
                 )
             try:
                 rendered = _canonical_params(params)
@@ -576,7 +576,7 @@ class SweepSpec:
         }
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown sweep spec fields: {sorted(unknown)}")
+            raise ValueError(f"unknown sweep spec fields: {sorted(unknown, key=str)}")
         if "protocols" not in data or "populations" not in data:
             raise ValueError("a sweep spec needs 'protocols' and 'populations'")
         protocols: List[ProtocolAxisValue] = []

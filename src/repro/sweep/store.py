@@ -470,7 +470,7 @@ class JsonlResultStore(ResultStore):
                     raise ValueError("row is not a JSON object")
                 missing = set(COLUMNS) - set(data)
                 if missing:
-                    raise ValueError(f"row is missing columns {sorted(missing)}")
+                    raise ValueError(f"row is missing columns {sorted(missing, key=str)}")
             except ValueError as error:
                 if is_last:
                     recovered.append(_json_cell_hint(line))

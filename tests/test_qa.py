@@ -1,0 +1,704 @@
+"""Tests for the static QA toolchain (repro.qa).
+
+Covers every lint rule with a seeded-violation fixture *and* a clean twin,
+the codegen auditor on all four paper protocols (plus corrupted sources that
+must fail), pickle-safety positives/negatives, the pragma and baseline
+suppression round-trips, and the CLI exit-code contract the CI gates on.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.qa import codegen_audit, determinism, picklesafety
+from repro.qa.cli import main as qa_main
+from repro.qa.rules import (
+    RULES,
+    Finding,
+    apply_baseline,
+    apply_pragmas,
+    load_baseline,
+    parse_pragmas,
+    severity_at_least,
+    write_baseline,
+)
+from repro.sweep.spec import available_sweep_protocols, build_protocol_and_inputs
+
+PAPER_PROTOCOLS = ("majority", "modulo", "succinct", "flock")
+AUDIT_POPULATIONS = (25, 100)
+
+
+def lint(source, path="module.py"):
+    return determinism.lint_source(textwrap.dedent(source), path)
+
+
+def live_rules(findings):
+    return [finding.rule for finding in findings if finding.suppressed is None]
+
+
+# ----------------------------------------------------------------------
+# Rule catalogue sanity
+# ----------------------------------------------------------------------
+class TestRuleCatalogue:
+    def test_expected_rules_present(self):
+        assert set(RULES) == {
+            "DET101", "DET102", "DET103", "DET201", "DET202", "PKL001",
+        }
+
+    def test_severity_ordering(self):
+        assert severity_at_least("error", "warning")
+        assert severity_at_least("warning", "warning")
+        assert not severity_at_least("info", "warning")
+
+
+# ----------------------------------------------------------------------
+# Determinism rules: each must fire on a violation and stay silent on a twin
+# ----------------------------------------------------------------------
+class TestDet101RandomModuleCalls:
+    def test_fires_on_module_level_call(self):
+        findings = lint(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """
+        )
+        assert live_rules(findings) == ["DET101"]
+
+    def test_silent_on_seeded_instance(self):
+        findings = lint(
+            """
+            import random
+
+            def draw(seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """
+        )
+        assert live_rules(findings) == []
+
+    def test_fires_on_shuffle_and_choice(self):
+        findings = lint(
+            """
+            import random
+
+            def scramble(items):
+                random.shuffle(items)
+                return random.choice(items)
+            """
+        )
+        assert live_rules(findings) == ["DET101", "DET101"]
+
+
+class TestDet102WallClock:
+    @pytest.mark.parametrize(
+        "call",
+        ["time.time()", "time.time_ns()", "os.urandom(8)", "uuid.uuid4()"],
+    )
+    def test_fires_on_entropy_sources(self, call):
+        findings = lint(
+            f"""
+            import os, time, uuid
+
+            def stamp():
+                return {call}
+            """
+        )
+        assert live_rules(findings) == ["DET102"]
+
+    def test_fires_on_datetime_now(self):
+        findings = lint(
+            """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        )
+        assert live_rules(findings) == ["DET102"]
+
+    def test_silent_on_perf_counter(self):
+        findings = lint(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter()
+            """
+        )
+        assert live_rules(findings) == []
+
+
+class TestDet103EnvReads:
+    def test_fires_on_environ_and_getenv(self):
+        findings = lint(
+            """
+            import os
+
+            def workers():
+                if "WORKERS" in os.environ:
+                    return int(os.environ["WORKERS"])
+                return os.getenv("FALLBACK")
+            """
+        )
+        assert set(live_rules(findings)) == {"DET103"}
+        assert len(live_rules(findings)) >= 2
+
+    def test_silent_in_sanctioned_config_module(self):
+        findings = lint(
+            """
+            import os
+
+            def workers():
+                return os.environ.get("WORKERS")
+            """,
+            path="src/repro/config.py",
+        )
+        assert live_rules(findings) == []
+
+
+class TestDet201SetIterationIntoOrderedSink:
+    def test_fires_on_append_from_set_literal(self):
+        findings = lint(
+            """
+            def collect(a, b):
+                out = []
+                for item in {a, b}:
+                    out.append(item)
+                return out
+            """
+        )
+        assert live_rules(findings) == ["DET201"]
+
+    def test_fires_on_set_typed_local(self):
+        findings = lint(
+            """
+            def collect(items):
+                seen = set(items)
+                out = []
+                for item in seen:
+                    out.append(item)
+                return out
+            """
+        )
+        assert live_rules(findings) == ["DET201"]
+
+    def test_fires_on_subscript_store(self):
+        findings = lint(
+            """
+            def index(items):
+                table = {}
+                position = 0
+                for item in set(items):
+                    table[item] = position
+                    position += 1
+                return table
+            """
+        )
+        assert live_rules(findings) == ["DET201"]
+
+    def test_silent_on_sorted_iteration(self):
+        findings = lint(
+            """
+            def collect(items):
+                out = []
+                for item in sorted(set(items), key=str):
+                    out.append(item)
+                return out
+            """
+        )
+        assert live_rules(findings) == []
+
+    def test_silent_on_order_insensitive_body(self):
+        findings = lint(
+            """
+            def total(items):
+                acc = 0
+                for item in set(items):
+                    acc += item
+                return acc
+            """
+        )
+        assert live_rules(findings) == []
+
+
+class TestDet202UnkeyedSortedOverSet:
+    def test_fires_on_sorted_set(self):
+        findings = lint(
+            """
+            def order(items):
+                return sorted(set(items))
+            """
+        )
+        assert live_rules(findings) == ["DET202"]
+
+    def test_fires_on_min_over_set_difference(self):
+        findings = lint(
+            """
+            def smallest(a, b):
+                return min(set(a) - set(b))
+            """
+        )
+        assert live_rules(findings) == ["DET202"]
+
+    def test_silent_with_key(self):
+        findings = lint(
+            """
+            def order(items):
+                return sorted(set(items), key=str)
+            """
+        )
+        assert live_rules(findings) == []
+
+    def test_silent_on_list_argument(self):
+        findings = lint(
+            """
+            def order(items):
+                return sorted(list(items))
+            """
+        )
+        assert live_rules(findings) == []
+
+
+# ----------------------------------------------------------------------
+# Pragmas and baseline
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_trailing_pragma_suppresses(self):
+        findings = lint(
+            """
+            def order(items):
+                return sorted(set(items))  # qa: allow[DET202] -- ints only
+            """
+        )
+        assert live_rules(findings) == []
+        assert [finding.suppressed for finding in findings] == ["pragma"]
+
+    def test_standalone_pragma_covers_next_line(self):
+        findings = lint(
+            """
+            def order(items):
+                # qa: allow[DET202] -- ints only
+                return sorted(set(items))
+            """
+        )
+        assert live_rules(findings) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        findings = lint(
+            """
+            def order(items):
+                return sorted(set(items))  # qa: allow[DET101]
+            """
+        )
+        assert live_rules(findings) == ["DET202"]
+
+    def test_wildcard_pragma(self):
+        findings = lint(
+            """
+            def order(items):
+                return sorted(set(items))  # qa: allow[*]
+            """
+        )
+        assert live_rules(findings) == []
+
+    def test_parse_pragmas_multiple_ids(self):
+        pragmas = parse_pragmas("x = 1  # qa: allow[DET101, DET202]\n")
+        assert pragmas[1] == frozenset({"DET101", "DET202"})
+
+
+class TestBaseline:
+    def _finding(self, line=3):
+        return Finding(
+            rule="DET202",
+            path="pkg/mod.py",
+            line=line,
+            message="un-keyed sorted",
+            source="return sorted(set(items))",
+        )
+
+    def test_round_trip(self, tmp_path):
+        baseline_path = tmp_path / "qa_baseline.json"
+        write_baseline(baseline_path, [self._finding()])
+        fingerprints = load_baseline(baseline_path)
+        suppressed = apply_baseline([self._finding()], fingerprints)
+        assert [finding.suppressed for finding in suppressed] == ["baseline"]
+
+    def test_line_moves_do_not_invalidate(self, tmp_path):
+        baseline_path = tmp_path / "qa_baseline.json"
+        write_baseline(baseline_path, [self._finding(line=3)])
+        fingerprints = load_baseline(baseline_path)
+        moved = apply_baseline([self._finding(line=42)], fingerprints)
+        assert moved[0].suppressed == "baseline"
+
+    def test_multiset_semantics(self, tmp_path):
+        baseline_path = tmp_path / "qa_baseline.json"
+        write_baseline(baseline_path, [self._finding()])
+        fingerprints = load_baseline(baseline_path)
+        duplicated = apply_baseline(
+            [self._finding(line=3), self._finding(line=9)], fingerprints
+        )
+        assert sorted(
+            finding.suppressed or "live" for finding in duplicated
+        ) == ["baseline", "live"]
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        baseline_path = tmp_path / "qa_baseline.json"
+        baseline_path.write_text("not json at all")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_baseline(baseline_path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        baseline_path = tmp_path / "qa_baseline.json"
+        baseline_path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="unsupported format"):
+            load_baseline(baseline_path)
+
+
+# ----------------------------------------------------------------------
+# Pickle safety
+# ----------------------------------------------------------------------
+class TestPickleSafety:
+    def test_fires_on_lambda_attribute(self):
+        findings = picklesafety.check_source(
+            textwrap.dedent(
+                """
+                class Holder:
+                    def __init__(self):
+                        self.fn = lambda x: x + 1
+                """
+            ),
+            "module.py",
+        )
+        assert live_rules(findings) == ["PKL001"]
+
+    def test_fires_on_exec_factory_result(self):
+        findings = picklesafety.check_source(
+            textwrap.dedent(
+                """
+                def _make(source):
+                    namespace = {}
+                    exec(source, namespace)
+                    return namespace["fn"]
+
+                class Holder:
+                    def __init__(self, source):
+                        self.fn = _make(source)
+                """
+            ),
+            "module.py",
+        )
+        assert live_rules(findings) == ["PKL001"]
+
+    def test_fires_on_cache_subscript_store(self):
+        findings = picklesafety.check_source(
+            textwrap.dedent(
+                """
+                class Holder:
+                    def __init__(self):
+                        self._cache = {}
+
+                    def _make(self):
+                        def stepper():
+                            return 1
+                        return stepper
+
+                    def get(self, key):
+                        self._cache[key] = self._make()
+                """
+            ),
+            "module.py",
+        )
+        assert live_rules(findings) == ["PKL001"]
+
+    def test_silent_with_getstate(self):
+        findings = picklesafety.check_source(
+            textwrap.dedent(
+                """
+                class Holder:
+                    def __init__(self):
+                        self.fn = lambda x: x + 1
+
+                    def __getstate__(self):
+                        state = self.__dict__.copy()
+                        state["fn"] = None
+                        return state
+                """
+            ),
+            "module.py",
+        )
+        assert live_rules(findings) == []
+
+    def test_silent_on_plain_attributes(self):
+        findings = picklesafety.check_source(
+            textwrap.dedent(
+                """
+                class Holder:
+                    def __init__(self, items):
+                        self.items = list(items)
+                        self.table = {}
+                """
+            ),
+            "module.py",
+        )
+        assert live_rules(findings) == []
+
+    def test_subclass_inherits_getstate_across_files(self, tmp_path):
+        (tmp_path / "base.py").write_text(
+            textwrap.dedent(
+                """
+                class Base:
+                    def __init__(self):
+                        self.fn = lambda: 1
+
+                    def __getstate__(self):
+                        return {}
+                """
+            )
+        )
+        (tmp_path / "child.py").write_text(
+            textwrap.dedent(
+                """
+                from base import Base
+
+                class Child(Base):
+                    def __init__(self):
+                        super().__init__()
+                        self.other = lambda: 2
+                """
+            )
+        )
+        findings = picklesafety.check_paths(tmp_path)
+        assert live_rules(findings) == []
+
+    def test_real_tree_is_clean(self, repo_src):
+        findings = picklesafety.check_paths(repo_src)
+        assert live_rules(findings) == []
+
+
+@pytest.fixture(scope="session")
+def repo_src():
+    import pathlib
+
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+# ----------------------------------------------------------------------
+# Codegen audit
+# ----------------------------------------------------------------------
+def _compiled_for(name, population):
+    protocol, _inputs = build_protocol_and_inputs(name, population)
+    net = protocol.petri_net
+    assert net is not None
+    compiled = net.compiled(extra_states=protocol.states)
+    classes = compiled.output_classes(protocol.output_table)
+    return compiled, classes
+
+
+class TestCodegenAudit:
+    def test_paper_protocols_are_registered(self):
+        assert set(PAPER_PROTOCOLS) <= set(available_sweep_protocols())
+
+    @pytest.mark.parametrize("name", PAPER_PROTOCOLS)
+    @pytest.mark.parametrize("population", AUDIT_POPULATIONS)
+    def test_paper_protocols_pass(self, name, population):
+        compiled, classes = _compiled_for(name, population)
+        assert codegen_audit.audit_compiled_net(compiled, classes) == []
+
+    def test_corrupted_source_fails(self):
+        compiled, classes = _compiled_for("majority", 25)
+        source = compiled.stepper_source("uniform", classes)
+        corrupted = source.replace("step += 1", "step += leaked_global", 1)
+        problems = codegen_audit.audit_stepper_source(
+            corrupted, compiled, "uniform", classes
+        )
+        assert any("leaked_global" in problem for problem in problems)
+
+    def test_attribute_access_in_loop_fails(self):
+        compiled, classes = _compiled_for("majority", 25)
+        source = compiled.stepper_source("uniform", classes)
+        corrupted = source.replace(
+            "        pick = randrange(total)",
+            "        pick = rng.randrange(total)",
+            1,
+        )
+        problems = codegen_audit.audit_stepper_source(
+            corrupted, compiled, "uniform", classes
+        )
+        assert any("rng.randrange" in problem for problem in problems)
+
+    def test_wrong_delta_fails(self):
+        compiled, classes = _compiled_for("majority", 25)
+        source = compiled.stepper_source("uniform", classes)
+        # Flip the first firing displacement found in the dispatch.
+        import re
+
+        corrupted, replacements = re.subn(
+            r"^(            c\d+) \+= (\d+)$",
+            r"\1 += 7",
+            source,
+            count=1,
+            flags=re.MULTILINE,
+        )
+        assert replacements == 1
+        problems = codegen_audit.audit_stepper_source(
+            corrupted, compiled, "uniform", classes
+        )
+        assert any("net says" in problem for problem in problems)
+
+    def test_unparsable_source_fails(self):
+        compiled, classes = _compiled_for("majority", 25)
+        problems = codegen_audit.audit_stepper_source(
+            "def broken(:", compiled, "uniform", classes
+        )
+        assert problems and "does not parse" in problems[0]
+
+    def test_recording_strips_to_fast(self):
+        compiled, classes = _compiled_for("succinct", 25)
+        fast = compiled.stepper_source("uniform", classes, record=False)
+        recording = compiled.stepper_source("uniform", classes, record=True)
+        assert codegen_audit._strip_ring_statements(recording) == fast
+        assert recording != fast
+
+    def test_qa_meta_attached(self):
+        compiled, classes = _compiled_for("majority", 25)
+        stepper = compiled.stepper("uniform", classes)
+        meta = stepper.__qa_meta__
+        assert meta["kind"] == "uniform"
+        assert meta["record"] is False
+        assert meta["num_transitions"] == compiled.num_transitions
+
+
+class TestUniverseGuard:
+    def test_colliding_str_renderings_rejected(self):
+        from repro.core.configuration import Configuration
+        from repro.core.petrinet import PetriNet
+        from repro.core.transition import Transition
+
+        class Alias:
+            """Two distinct, hashable states rendering identically."""
+
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __hash__(self):
+                return hash(self.tag)
+
+            def __eq__(self, other):
+                return isinstance(other, Alias) and self.tag == other.tag
+
+            def __str__(self):
+                return "same"
+
+        a, b = Alias(1), Alias(2)
+        net = PetriNet(
+            [Transition(pre=Configuration({a: 1}), post=Configuration({b: 1}))],
+            name="aliased",
+        )
+        with pytest.raises(ValueError, match="distinct string renderings"):
+            net.compiled()
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes (the contract the CI gates on)
+# ----------------------------------------------------------------------
+VIOLATION_SOURCE = """\
+import random
+
+
+def draw():
+    return random.random()
+"""
+
+CLEAN_SOURCE = """\
+import random
+
+
+def draw(seed):
+    rng = random.Random(seed)
+    return rng.random()
+"""
+
+
+class TestCliExitCodes:
+    def test_lint_clean_exits_0(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+        assert qa_main(["lint", "clean.py"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_violation_exits_1(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(VIOLATION_SOURCE)
+        assert qa_main(["lint", "dirty.py"]) == 1
+        out = capsys.readouterr().out
+        assert "DET101" in out
+
+    def test_lint_missing_path_exits_2(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert qa_main(["lint", "no/such/path.py"]) == 2
+
+    def test_lint_baseline_workflow(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "dirty.py").write_text(VIOLATION_SOURCE)
+        assert qa_main(["lint", "dirty.py", "--write-baseline"]) == 0
+        assert (tmp_path / "qa_baseline.json").exists()
+        capsys.readouterr()
+        # Baselined finding no longer gates ...
+        assert qa_main(["lint", "dirty.py"]) == 0
+        assert "suppressed" in capsys.readouterr().out
+        # ... but a second copy of the same hazard does.
+        (tmp_path / "dirty.py").write_text(
+            VIOLATION_SOURCE + "\n\ndef draw2():\n    return random.random()\n"
+        )
+        assert qa_main(["lint", "dirty.py"]) == 1
+
+    def test_lint_explicit_missing_baseline_exits_2(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+        assert qa_main(["lint", "clean.py", "--baseline", "absent.json"]) == 2
+
+    def test_lint_shipped_tree_is_clean(self, repo_src, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no baseline in cwd: findings must gate
+        assert qa_main(["lint", str(repo_src)]) == 0
+
+    def test_check_pickle_exit_codes(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "bad.py").write_text(
+            "class Holder:\n"
+            "    def __init__(self):\n"
+            "        self.fn = lambda: 1\n"
+        )
+        assert qa_main(["check-pickle", "bad.py"]) == 1
+        (tmp_path / "bad.py").write_text(CLEAN_SOURCE)
+        assert qa_main(["check-pickle", "bad.py"]) == 0
+
+    def test_audit_codegen_exits_0(self, capsys):
+        assert qa_main(["audit-codegen", "--population", "25"]) == 0
+        out = capsys.readouterr().out
+        for name in PAPER_PROTOCOLS:
+            assert f"{name}@25: ok" in out
+
+    def test_audit_codegen_unknown_protocol_exits_2(self, capsys):
+        assert qa_main(["audit-codegen", "--protocol", "nonesuch"]) == 2
+
+    def test_rules_subcommand(self, capsys):
+        assert qa_main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_typecheck_without_mypy_exits_2(self, capsys):
+        mypy_installed = True
+        try:
+            import mypy  # noqa: F401
+        except ImportError:
+            mypy_installed = False
+        if mypy_installed:
+            pytest.skip("mypy installed; the missing-dependency path is moot")
+        assert qa_main(["typecheck"]) == 2
+        assert "pip install" in capsys.readouterr().err
