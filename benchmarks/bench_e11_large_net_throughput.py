@@ -14,7 +14,9 @@ the engines is recorded across PRs:
    overflows the CPython compiler).  The experiment cross-checks the
    engines' final configurations, step counts and consensus values, so the
    benchmark doubles as an equivalence check (exact step-for-step trajectory
-   equality is the test suite's job).
+   equality is the test suite's job).  Sweep points where codegen fails
+   report their speedup against a labeled reference-engine fallback
+   baseline (extrapolated from a short run) rather than empty cells.
 
 2. **Persistent pools**: a :class:`~repro.simulation.batch.BatchRunner`
    builds its worker pool once; a second ``run_many`` on the same runner
@@ -72,17 +74,27 @@ def test_bench_e11_large_net_throughput(benchmark):
     # ...and including the codegen the compiled engine pays per (net,
     # process), the NumPy engine is >= 3x faster already at 1000 transitions.
     assert rows[(1000, "numpy")]["e2e speedup"] >= 3.0
-    # Headline: >= 3x steady-state on a multi-thousand-transition net.
+    # Headline: >= 3x steady-state on a multi-thousand-transition net,
+    # measured against the compiled engine itself.
     big_speedups = [
         row["speedup"]
         for (transitions, engine), row in rows.items()
-        if engine == "numpy" and transitions >= 1000 and row["speedup"] is not None
+        if engine == "numpy"
+        and transitions >= 1000
+        and row["baseline"] == "compiled"
+        and row["speedup"] is not None
     ]
     assert max(big_speedups) >= 3.0
     # At 5000 transitions the compiled engine cannot even be built (CPython
-    # recursion guard) while the NumPy engine keeps simulating.
+    # recursion guard) while the NumPy engine keeps simulating — and the row
+    # still carries a real speedup, measured against the labeled
+    # reference-engine fallback baseline instead of an empty cell.
     assert rows[(5000, "compiled")]["interactions"] is None
     assert rows[(5000, "numpy")]["interactions"] > 0
+    fallback_row = rows[(5000, "numpy")]
+    assert fallback_row["baseline"].startswith("reference (extrapolated")
+    assert fallback_row["speedup"] is not None
+    assert fallback_row["speedup"] > 1.0
 
     _update_artifact(
         "large_net_throughput",

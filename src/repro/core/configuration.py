@@ -76,6 +76,21 @@ class Configuration:
     # Construction helpers
     # ------------------------------------------------------------------
     @staticmethod
+    def _from_clean(counts: Dict[State, int], size: int) -> "Configuration":
+        """Wrap an already-validated counts dict without copying it.
+
+        Internal fast path for bulk result conversion (the dense engines
+        decode thousands of final configurations per ensemble): ``counts``
+        must contain strictly positive ``int`` values only and ``size`` must
+        be their sum; the caller hands over ownership of the dict.
+        """
+        configuration = Configuration.__new__(Configuration)
+        configuration._counts = counts
+        configuration._hash = None
+        configuration._size = size
+        return configuration
+
+    @staticmethod
     def zero() -> "Configuration":
         """The empty configuration (no agents)."""
         return _ZERO

@@ -15,6 +15,7 @@ from .experiment_defs import (
     experiment_e11_large_net_throughput,
     experiment_e12_parameter_sweep,
     experiment_e13_analytics_sweep,
+    experiment_e14_ensemble_throughput,
     random_interaction_protocol,
 )
 from .harness import ExperimentRegistry, ExperimentTable, registry
@@ -36,5 +37,6 @@ __all__ = [
     "experiment_e11_large_net_throughput",
     "experiment_e12_parameter_sweep",
     "experiment_e13_analytics_sweep",
+    "experiment_e14_ensemble_throughput",
     "random_interaction_protocol",
 ]

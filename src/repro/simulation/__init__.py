@@ -3,8 +3,10 @@
 The simulation layer is organized in three tiers:
 
 **Engines** (:mod:`~repro.simulation.simulator`,
-:mod:`~repro.simulation.compiled`, :mod:`~repro.simulation.vectorized`).
-A single run executes on one of three engines with identical semantics:
+:mod:`~repro.simulation.compiled`, :mod:`~repro.simulation.vectorized`,
+:mod:`~repro.simulation.ensemble`).
+A single run executes on one of three per-run engines with identical
+semantics:
 
 * the *compiled* dense-array engine — states mapped to dense indices, a
   generated straight-line stepper mutating one counts array with incremental

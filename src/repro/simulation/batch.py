@@ -358,6 +358,12 @@ class WorkerPool:
         seeds = list(seeds)
         configuration = protocol.initial_configuration(inputs)
         if not seeds:
+            # An empty ensemble must agree with the serial backend, which
+            # constructs a Simulator before noticing there is nothing to do:
+            # validate the spec (engine name, scheduler compatibility) the
+            # same way instead of silently returning for a combination every
+            # non-empty call would reject.
+            Simulator(protocol, scheduler=scheduler, engine=engine)
             return []
         if spec_bytes is None:
             spec_bytes = _dumps_for_workers((protocol, scheduler, engine))

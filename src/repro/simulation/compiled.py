@@ -40,7 +40,17 @@ transitions than the unrolled dispatch can stomach (see
 from __future__ import annotations
 
 from math import comb
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol as TypingProtocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..core.configuration import Configuration, State
 from ..core.petrinet import PetriNet
@@ -52,6 +62,8 @@ __all__ = [
     "OUT_UNDEFINED",
     "OUT_IGNORED",
     "CompiledNet",
+    "GeneratedStepper",
+    "Stepper",
     "check_kind",
 ]
 
@@ -68,10 +80,74 @@ OUT_IGNORED = 3
 #: :mod:`repro.simulation.vectorized`).
 _KINDS = ("uniform", "transition")
 
-#: The signature of a generated stepper: ``(steps, consensus_value,
+#: The call signature shared by every stepper: ``(steps, consensus_value,
 #: consensus_since, terminated)`` from a mutated counts array (see
 #: :meth:`CompiledNet.stepper` for the parameter contract).
 StepperFn = Callable[..., Tuple[int, int, int, bool]]
+
+
+@runtime_checkable
+class Stepper(TypingProtocol):
+    """The engine seam: one simulation loop plus its QA hooks.
+
+    Every dense engine hands the :class:`~repro.simulation.simulator.Simulator`
+    an object satisfying this protocol instead of a bare closure:
+
+    * calling it runs the whole loop with the stepper signature documented on
+      :meth:`CompiledNet.stepper` (``counts`` mutated in place, ``-1`` as the
+      ``None`` sentinel, optional trailing ``ring``/``capacity``),
+    * :meth:`source` returns the generated Python source when the loop *is*
+      generated code (the compiled engine), and ``None`` for kernel-backed
+      loops (the NumPy and ensemble engines) — the hook the codegen auditor
+      (:mod:`repro.qa.codegen_audit`) keys off to decide whether to audit
+      emitted source or kernel-plan structure,
+    * :attr:`qa_meta` carries structured generator/kernel metadata (label,
+      scheduler kind, transition count, ...) for the same auditor.
+
+    Concrete implementations: :class:`GeneratedStepper` (exec-compiled
+    straight-line code), :class:`~repro.simulation.vectorized.KernelStepper`
+    (NumPy kernels, also used by the lock-step ensemble engine).
+    """
+
+    qa_meta: Dict[str, object]
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tuple[int, int, int, bool]:
+        ...  # pragma: no cover - protocol stub
+
+    def source(self) -> Optional[str]:
+        ...  # pragma: no cover - protocol stub
+
+
+class GeneratedStepper:
+    """A generated straight-line stepper with its source attached.
+
+    Wraps the ``exec``-compiled function together with the emitted source and
+    the generator's structured metadata; the wrapper is entered once per run
+    (the loop lives inside), so the indirection costs nothing per step.  The
+    legacy ``__source__`` / ``__qa_meta__`` attribute spellings are kept for
+    debugging parity with the pre-protocol closures.
+    """
+
+    def __init__(
+        self, fn: StepperFn, source: str, qa_meta: Dict[str, object]
+    ) -> None:
+        self._fn = fn
+        self.__source__ = source
+        self.qa_meta = qa_meta
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tuple[int, int, int, bool]:
+        return self._fn(*args, **kwargs)
+
+    def source(self) -> str:
+        """The emitted Python source of the loop (the QA audit hook)."""
+        return self.__source__
+
+    @property
+    def __qa_meta__(self) -> Dict[str, object]:
+        return self.qa_meta
+
+    def __repr__(self) -> str:
+        return f"GeneratedStepper({self.qa_meta.get('label', '?')})"
 
 
 def check_kind(kind: str) -> None:
@@ -145,7 +221,7 @@ class CompiledNet:
             affected.append(tuple(sorted(hit)))
         self.affected: Tuple[Tuple[int, ...], ...] = tuple(affected)
 
-        self._steppers: Dict[Tuple[str, Tuple[int, ...], bool], StepperFn] = {}
+        self._steppers: Dict[Tuple[str, Tuple[int, ...], bool], Stepper] = {}
 
     def __getstate__(self) -> Dict[str, object]:
         """Drop the generated steppers: ``exec``-compiled functions cannot be
@@ -198,8 +274,8 @@ class CompiledNet:
 
     def configuration_of(self, counts: List[int]) -> Configuration:
         """The sparse configuration represented by a dense counts array."""
-        states = self.states
-        return Configuration({states[i]: count for i, count in enumerate(counts) if count})
+        clean = {state: count for state, count in zip(self.states, counts) if count}
+        return Configuration._from_clean(clean, sum(counts))
 
     # ------------------------------------------------------------------
     # Output classification (consensus counters)
@@ -243,10 +319,12 @@ class CompiledNet:
     # ------------------------------------------------------------------
     # Stepper generation
     # ------------------------------------------------------------------
-    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> StepperFn:
+    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> Stepper:
         """The generated simulation loop for a scheduler ``kind`` and output classes.
 
-        The function has the signature::
+        Returns a :class:`Stepper` (a :class:`GeneratedStepper` here; the
+        NumPy subclass returns kernel-backed steppers) whose call signature
+        is::
 
             stepper(counts, rng, max_steps, stability_window, one, zero, undef)
                 -> (steps, consensus_value, consensus_since, terminated)
@@ -275,14 +353,15 @@ class CompiledNet:
         """The generated Python source of the specialized stepper.
 
         Always emits the straight-line code of *this* class's generator, even
-        on subclasses that override :meth:`stepper` with non-generated
-        callables (the NumPy engine's closures carry no source).  This is the
-        entry point of the codegen auditor (:mod:`repro.qa.codegen_audit`);
-        it regenerates rather than consulting the stepper cache so auditing
-        never perturbs the functions actually used for simulation.
+        on subclasses that override :meth:`stepper` with kernel-backed
+        steppers (whose :meth:`Stepper.source` hook returns ``None``).  This
+        is the entry point of the codegen auditor
+        (:mod:`repro.qa.codegen_audit`); it regenerates a fresh
+        :class:`GeneratedStepper` — via the protocol's source hook — rather
+        than consulting the stepper cache, so auditing never perturbs the
+        functions actually used for simulation.
         """
-        stepper = _generate_stepper(self, kind, tuple(classes), record=record)
-        return stepper.__source__  # type: ignore[attr-defined]
+        return _generate_stepper(self, kind, tuple(classes), record=record).source()
 
 
 # Type alias only used in docstrings/signatures above; kept loose on purpose
@@ -395,7 +474,7 @@ def _fire_statements(
 
 def _generate_stepper(
     net: CompiledNet, kind: str, classes: Tuple[int, ...], record: bool = False
-) -> StepperFn:
+) -> GeneratedStepper:
     """Emit and compile the specialized simulation loop for ``net``."""
     check_kind(kind)
     consensus_deltas = net.consensus_deltas(classes)
@@ -510,12 +589,10 @@ def _generate_stepper(
             "overflow the CPython compiler while building the generated stepper); "
             "use engine='numpy' (or engine='auto', which selects it)"
         ) from None
-    stepper = namespace["__compiled_stepper"]
-    stepper.__source__ = source  # kept for debugging and the test suite
     # Structured metadata for the codegen auditor (repro.qa.codegen_audit):
     # what the generator *intended*, so the auditor can check the emitted
     # source against it instead of re-deriving the dense mapping.
-    stepper.__qa_meta__ = {
+    qa_meta: Dict[str, object] = {
         "label": label,
         "kind": kind,
         "record": record,
@@ -523,4 +600,4 @@ def _generate_stepper(
         "touched": tuple(touched),
         "written": tuple(written),
     }
-    return stepper
+    return GeneratedStepper(namespace["__compiled_stepper"], source, qa_meta)

@@ -27,6 +27,14 @@ Three engines implement these semantics:
   and scheduler weights as ``int64`` vectors updated with array kernels, so
   its per-step cost is flat in the transition count instead of linear like
   the compiled dispatch chain (:mod:`repro.simulation.vectorized`),
+* the **ensemble engine** (``engine="ensemble"``) batches *repetitions*: a
+  lock-step ``(reps, states)`` matrix advanced with one kernel launch per
+  global step, per-row transition picks through a two-level blocked weight
+  structure, and rows retiring in place at convergence
+  (:mod:`repro.simulation.ensemble`).  Single runs under this engine use the
+  per-run NumPy stepper; ``run_many`` and the batch layer route whole seed
+  lists through the lock-step path — every row bit-identical to a per-run
+  engine run with the same derived seed,
 * the **reference engine** (``engine="reference"``) is the original sparse
   implementation: one immutable :class:`~repro.core.configuration.Configuration`
   per step, full consensus rescans, full weight recomputation.
@@ -37,9 +45,12 @@ All engines consume the random stream identically, so for a fixed
 least :data:`AUTO_VECTORIZE_THRESHOLD` transitions and NumPy is installed,
 the compiled engine for smaller nets (or when NumPy is missing), and falls
 back to the reference engine otherwise (custom schedulers, configurations
-mentioning states outside the compiled universe).  The ``REPRO_FORCE_ENGINE``
-environment variable overrides the ``engine="auto"`` choice — the knob the CI
-uses to drive the whole suite through one engine.
+mentioning states outside the compiled universe); it never picks the
+ensemble engine on its own.  Engine precedence is: an explicit ``engine=``
+argument always wins (``REPRO_FORCE_ENGINE`` then warns once that it is
+being ignored), the ``REPRO_FORCE_ENGINE`` environment variable overrides
+the ``engine="auto"`` choice — the knob the CI uses to drive the whole suite
+through one engine — and the transition-count heuristic decides otherwise.
 """
 
 from __future__ import annotations
@@ -49,7 +60,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..config import forced_engine
+from ..config import forced_engine, notice_explicit_engine
 from ..core.configuration import Configuration
 from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
 from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO, CompiledNet, StepperFn
@@ -59,7 +70,7 @@ from .vectorized import numpy_available
 
 __all__ = ["AUTO_VECTORIZE_THRESHOLD", "SimulationResult", "Simulator", "simulate"]
 
-_ENGINES = ("auto", "compiled", "numpy", "reference")
+_ENGINES = ("auto", "compiled", "numpy", "ensemble", "reference")
 
 #: Transition count at which ``engine="auto"`` switches from the compiled
 #: engine to the NumPy engine.  Calibrated with benchmark E11
@@ -130,7 +141,16 @@ class Simulator:
         ``"compiled"`` and ``"numpy"`` require that engine (raising
         ``ValueError`` for schedulers without a dense fast path, and
         ``ImportError`` for ``"numpy"`` without NumPy installed);
+        ``"ensemble"`` requires NumPy the same way and additionally routes
+        :meth:`run_many` / batch seed lists through the lock-step
+        :class:`~repro.simulation.ensemble.VectorizedEnsemble` (single runs
+        use the bit-identical per-run NumPy stepper);
         ``"reference"`` forces the sparse reference engine.
+
+        An explicit ``engine=`` argument is never overridden by
+        ``REPRO_FORCE_ENGINE`` — the override applies to ``engine="auto"``
+        only, and :func:`repro.config.notice_explicit_engine` warns once
+        when it is being ignored.
     """
 
     def __init__(
@@ -144,6 +164,10 @@ class Simulator:
             raise ValueError("simulation requires a Petri-net based protocol")
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r} (expected one of {_ENGINES})")
+        if engine != "auto":
+            # One-time warning when REPRO_FORCE_ENGINE is set but ignored
+            # (the override only applies to engine="auto").
+            notice_explicit_engine(engine, _ENGINES)
         self.protocol = protocol
         self.net = protocol.petri_net
         self.scheduler = scheduler or UniformScheduler()
@@ -154,17 +178,21 @@ class Simulator:
         self._classes: Optional[Tuple[int, ...]] = None
         self._stepper: Optional[StepperFn] = None
         self._kind: Optional[str] = None
+        self._choice: Optional[str] = None
+        #: Cached lock-step engine (built on first ``run_many`` ensemble
+        #: dispatch — its consensus-delta table is worth reusing).
+        self._ensemble: Optional[Any] = None
         if engine != "reference":
             kind = self.scheduler.compiled_kind()
             if kind is None:
-                if engine in ("compiled", "numpy"):
+                if engine in ("compiled", "numpy", "ensemble"):
                     raise ValueError(
                         f"scheduler {type(self.scheduler).__name__} has no compiled fast "
                         "path; use engine='auto' or engine='reference'"
                     )
             else:
                 choice = self._resolve_auto(engine)
-                if choice == "numpy":
+                if choice in ("numpy", "ensemble"):
                     self._compiled = self.net.vectorized(extra_states=self.protocol.states)
                 elif choice == "compiled":
                     self._compiled = self.net.compiled(extra_states=self.protocol.states)
@@ -172,14 +200,16 @@ class Simulator:
                     self._classes = self._compiled.output_classes(self.protocol.output_table)
                     self._stepper = self._compiled.stepper(kind, self._classes)
                     self._kind = kind
+                    self._choice = choice
 
     def _resolve_auto(self, engine: str) -> str:
         """The dense engine to build for a scheduler that admits one.
 
-        Returns ``"compiled"``, ``"numpy"`` or ``"reference"`` (the last only
-        via the environment override).  Explicit engines pass through; only
-        ``engine="auto"`` consults ``REPRO_FORCE_ENGINE`` and the
-        transition-count heuristic.
+        Returns ``"compiled"``, ``"numpy"``, ``"ensemble"`` or
+        ``"reference"`` (the last two only explicitly or via the environment
+        override — the heuristic never picks them).  Explicit engines pass
+        through; only ``engine="auto"`` consults ``REPRO_FORCE_ENGINE`` and
+        the transition-count heuristic.
         """
         if engine != "auto":
             return engine
@@ -253,7 +283,7 @@ class Simulator:
                     configuration, counts, max_steps, stability_window, rng,
                     record_trajectory, trajectory_capacity,
                 )
-            if self.engine in ("compiled", "numpy"):
+            if self.engine in ("compiled", "numpy", "ensemble"):
                 raise ValueError(
                     "configuration mentions states outside the compiled universe; "
                     "use engine='auto' or engine='reference'"
@@ -266,16 +296,8 @@ class Simulator:
     # ------------------------------------------------------------------
     # Compiled engine
     # ------------------------------------------------------------------
-    def _run_compiled(
-        self,
-        initial: Configuration,
-        counts: List[int],
-        max_steps: int,
-        stability_window: int,
-        rng: random.Random,
-        record_trajectory: bool = False,
-        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
-    ) -> SimulationResult:
+    def _initial_output_counters(self, counts: List[int]) -> Tuple[int, int, int]:
+        """The ``(one, zero, undef)`` output-class counters of dense counts."""
         classes = self._classes
         one = zero = undef = 0
         for index, count in enumerate(counts):
@@ -287,6 +309,20 @@ class Simulator:
                     zero += count
                 elif kind == OUT_UNDEFINED:
                     undef += count
+        return one, zero, undef
+
+    def _run_compiled(
+        self,
+        initial: Configuration,
+        counts: List[int],
+        max_steps: int,
+        stability_window: int,
+        rng: random.Random,
+        record_trajectory: bool = False,
+        trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
+    ) -> SimulationResult:
+        classes = self._classes
+        one, zero, undef = self._initial_output_counters(counts)
         trajectory = None
         if record_trajectory:
             # The run fires at most max_steps transitions, so the physical
@@ -456,6 +492,18 @@ class Simulator:
         buffer: Optional[List[int]] = None
         if self._stepper is not None:
             buffer = self._compiled.counts_of(configuration)
+        if self._choice == "ensemble" and buffer is not None and seeds:
+            # Lock-step path: one VectorizedEnsemble run for the whole seed
+            # list.  Configurations outside the compiled universe fall
+            # through to the per-seed loop below, which either raises (for
+            # the explicit engine) or dispatches to the reference engine
+            # (auto mode with a forced override) — the same split as the
+            # per-run engines.
+            return self._run_seeds_ensemble(
+                configuration, buffer, seeds, max_steps, stability_window,
+                record, capacity, record_trajectory, trajectory_capacity,
+                analytics,
+            )
         results: List[SimulationResult] = []
         for seed in seeds:
             run_rng = random.Random(seed)
@@ -470,6 +518,77 @@ class Simulator:
                     configuration, max_steps, stability_window, run_rng,
                     record, capacity,
                 )
+            if analytics is not None:
+                result.analytics = analytics.extract(result, self.protocol)
+                self._restore_trajectory(
+                    result, record_trajectory, trajectory_capacity
+                )
+            results.append(result)
+        return results
+
+    def _run_seeds_ensemble(
+        self,
+        configuration: Configuration,
+        counts: List[int],
+        seeds: List[int],
+        max_steps: int,
+        stability_window: int,
+        record: bool,
+        capacity: int,
+        record_trajectory: bool,
+        trajectory_capacity: int,
+        analytics: Any,
+    ) -> List[SimulationResult]:
+        """Run one repetition per seed through the lock-step ensemble engine.
+
+        ``record``/``capacity`` are the effective recording parameters (the
+        analytics path records internally at full capacity, exactly like the
+        serial loop), ``record_trajectory``/``trajectory_capacity`` the
+        caller's — trajectories are restored to the requested shape after
+        metric extraction.  Row ``i`` of the ensemble is bit-identical to a
+        per-run engine run seeded with ``seeds[i]``.
+        """
+        from .ensemble import VectorizedEnsemble
+        from .vectorized import require_numpy
+
+        np = require_numpy()
+        ensemble = self._ensemble
+        if ensemble is None:
+            ensemble = VectorizedEnsemble(self._compiled, self._kind, self._classes)
+            self._ensemble = ensemble
+        one, zero, undef = self._initial_output_counters(counts)
+        ring = None
+        physical = 0
+        if record:
+            # Same physical clamp as the per-run recording path: a run fires
+            # at most max_steps transitions.
+            physical = max(1, min(capacity, max_steps))
+            ring = np.zeros((len(seeds), physical), dtype=np.int64)
+        steps, values, since, terminated, finals = ensemble.run(
+            counts, seeds, max_steps, stability_window, one, zero, undef,
+            ring, physical,
+        )
+        results: List[SimulationResult] = []
+        for i in range(len(seeds)):
+            fired_steps = int(steps[i])
+            value = int(values[i])
+            value_since = int(since[i])
+            trajectory = None
+            if ring is not None:
+                trajectory = Trajectory.from_ring(
+                    ring[i].tolist(), fired_steps, physical,
+                    reported_capacity=capacity,
+                )
+            result = SimulationResult(
+                initial=configuration,
+                final=self._compiled.configuration_of(finals[i].tolist()),
+                steps=fired_steps,
+                consensus=value if value >= 0 else None,
+                consensus_step=value_since if value_since >= 0 else None,
+                terminated=bool(terminated[i]),
+                interactions_sampled=fired_steps,
+                trajectory=trajectory,
+            )
             if analytics is not None:
                 result.analytics = analytics.extract(result, self.protocol)
                 self._restore_trajectory(

@@ -51,20 +51,20 @@ without it; constructing a :class:`VectorizedNet` (or asking for
 from __future__ import annotations
 
 from math import factorial
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import random
 
 from ..core.configuration import State
 from ..core.petrinet import PetriNet
-from .compiled import CompiledNet, StepperFn, check_kind
+from .compiled import CompiledNet, Stepper, StepperFn, check_kind
 
 try:  # pragma: no cover - exercised through both CI jobs
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None  # type: ignore[assignment]
 
-__all__ = ["VectorizedNet", "numpy_available", "require_numpy"]
+__all__ = ["KernelStepper", "VectorizedNet", "numpy_available", "require_numpy"]
 
 _NUMPY_HINT = (
     "the NumPy simulation engine (engine='numpy') requires numpy, which is "
@@ -84,6 +84,32 @@ def require_numpy() -> Any:
     if _np is None:
         raise ImportError(_NUMPY_HINT)
     return _np
+
+
+class KernelStepper:
+    """A kernel-backed stepper: array programs instead of generated source.
+
+    The NumPy engine's counterpart of
+    :class:`~repro.simulation.compiled.GeneratedStepper`, satisfying the same
+    :class:`~repro.simulation.compiled.Stepper` protocol: :meth:`source`
+    returns ``None`` (there is no emitted code to audit — the codegen auditor
+    checks the kernel *plan structures* instead) and :attr:`qa_meta` names
+    the kernel implementation so audits can tell the variants apart.
+    """
+
+    def __init__(self, fn: StepperFn, qa_meta: Dict[str, object]) -> None:
+        self._fn = fn
+        self.qa_meta = qa_meta
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tuple[int, int, int, bool]:
+        return self._fn(*args, **kwargs)
+
+    def source(self) -> Optional[str]:
+        """Kernel-backed steppers have no generated source (audit the plans)."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"KernelStepper({self.qa_meta.get('label', '?')})"
 
 
 class VectorizedNet(CompiledNet):
@@ -205,6 +231,24 @@ class VectorizedNet(CompiledNet):
                 )
             )
         self._plans = plans
+        # Lock-step ensemble tables (repro.simulation.ensemble), built lazily
+        # on first ensemble run and dropped on pickling like the steppers.
+        self._ensemble_tables: Optional[Any] = None
+
+    def ensemble_tables(self) -> Any:
+        """The cached :class:`~repro.simulation.ensemble.EnsembleTables`."""
+        if self._ensemble_tables is None:
+            from .ensemble import EnsembleTables
+
+            self._ensemble_tables = EnsembleTables(self)
+        return self._ensemble_tables
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Additionally drop the ensemble tables: they are derived arrays,
+        cheap to rebuild and bulky to ship to batch workers."""
+        state = super().__getstate__()
+        state["_ensemble_tables"] = None
+        return state
 
     def __repr__(self) -> str:
         return f"VectorizedNet(|P|={self.num_states}, |T|={self.num_transitions})"
@@ -246,6 +290,47 @@ class VectorizedNet(CompiledNet):
         weights[self._empty_pre] = 1
         return weights
 
+    def check_weight_overflow(self, counts: Sequence[int], max_steps: int) -> None:
+        """Static int64-overflow guard shared by the uniform-kind engines.
+
+        A transition's weight is a product of at most ``_max_weight_factors``
+        state counts, every state count stays below ``count_bound`` for the
+        whole run (counts can only grow by ``_max_positive_delta`` per step),
+        so every weight stays below ``count_bound ** factors`` and the weight
+        total below ``num_transitions * count_bound ** factors``.  Requiring
+        ``count_bound < 2 ** limit_bits`` with ``limit_bits * factors +
+        bit_length(num_transitions) <= 63`` therefore keeps every partial sum
+        of the int64 weight vectors exact — int64 arithmetic would otherwise
+        wrap silently rather than raise.  The bound must be computed in
+        Python integers, before any int64 conversion: an int64 sum of an
+        astronomical population would itself wrap and bypass the guard.
+        Raises :class:`OverflowError` for populations/step budgets beyond the
+        guard; both the per-run uniform stepper and the lock-step ensemble
+        engine (:mod:`repro.simulation.ensemble`) call this up front, so the
+        two reject exactly the same runs.
+        """
+        num_transitions = self.num_transitions
+        factors = self._max_weight_factors
+        limit_bits = max(
+            0, (63 - max(1, num_transitions).bit_length()) // factors
+        )
+        if self._conservative:
+            # Conservative nets keep the population invariant, so the total
+            # is a lifetime bound on every state count.
+            count_bound = sum(counts)
+        else:
+            count_bound = max(counts, default=0)
+            count_bound += max_steps * self._max_positive_delta
+        if count_bound > 0 and (count_bound >> limit_bits) > 0:
+            raise OverflowError(
+                "population or step budget too large for the int64 NumPy "
+                f"engine (state counts may reach {count_bound} over "
+                f"{max_steps} steps, risking scheduler-weight overflow "
+                f"on {num_transitions} transitions); use "
+                "engine='compiled', which computes weights in "
+                "arbitrary-precision Python integers"
+            )
+
     def full_enabled(self, counts_array: Any) -> Any:
         """The enabledness of every transition, as a bool vector."""
         np = _np
@@ -263,22 +348,34 @@ class VectorizedNet(CompiledNet):
     # ------------------------------------------------------------------
     # Steppers
     # ------------------------------------------------------------------
-    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> StepperFn:
-        """A closure with the exact signature and semantics of the compiled
-        steppers (see :meth:`CompiledNet.stepper`), implemented with NumPy
-        kernels instead of generated code, and dropped on pickling the same
-        way.  Unlike the compiled engine there is no separate recording
-        variant — the closures branch on ``ring is None`` at runtime — so the
-        cache key ignores ``record`` and both spellings share one closure.
+    def stepper(self, kind: str, classes: Tuple[int, ...], record: bool = False) -> Stepper:
+        """A :class:`KernelStepper` with the exact signature and semantics of
+        the compiled steppers (see :meth:`CompiledNet.stepper`), implemented
+        with NumPy kernels instead of generated code, and dropped on pickling
+        the same way.  Unlike the compiled engine there is no separate
+        recording variant — the kernels branch on ``ring is None`` at runtime
+        — so the cache key ignores ``record`` and both spellings share one
+        stepper.
         """
         check_kind(kind)
         key = (kind, tuple(classes), False)
         stepper = self._steppers.get(key)
         if stepper is None:
             if kind == "uniform":
-                stepper = self._make_uniform_stepper(key[1])
+                fn = self._make_uniform_stepper(key[1])
             else:
-                stepper = self._make_transition_stepper(key[1])
+                fn = self._make_transition_stepper(key[1])
+            label = f"{self.net.name or 'net'}/{kind}"
+            stepper = KernelStepper(
+                fn,
+                {
+                    "label": label,
+                    "kind": kind,
+                    "record": None,  # one kernel serves both variants
+                    "num_transitions": self.num_transitions,
+                    "implementation": "numpy-kernels",
+                },
+            )
             self._steppers[key] = stepper
         return stepper
 
@@ -287,20 +384,6 @@ class VectorizedNet(CompiledNet):
         plans = self._plans
         consensus_deltas = self.consensus_deltas(classes)
         num_transitions = self.num_transitions
-
-        # Static overflow guard: every state count stays below
-        # ``count_bound`` for the whole run (counts can only grow by
-        # ``_max_positive_delta`` per step), so every weight stays below
-        # ``count_bound ** factors`` and the weight total below
-        # ``num_transitions * count_bound ** factors``.  Requiring
-        # ``count_bound < 2 ** limit_bits`` with ``limit_bits * factors +
-        # bit_length(num_transitions) <= 63`` therefore keeps every partial
-        # sum of the int64 cumulative-weight vector exact — int64 arithmetic
-        # would otherwise wrap silently rather than raise.
-        factors = self._max_weight_factors
-        limit_bits = max(
-            0, (63 - max(1, num_transitions).bit_length()) // factors
-        )
 
         def stepper(
             counts: List[int],
@@ -313,25 +396,8 @@ class VectorizedNet(CompiledNet):
             ring: Optional[List[int]] = None,
             capacity: int = 0,
         ) -> Tuple[int, int, int, bool]:
-            # The bound must be computed in Python integers, before the int64
-            # conversion: an int64 sum of an astronomical population would
-            # itself wrap and bypass the guard.
-            if self._conservative:
-                # Conservative nets keep the population invariant, so the
-                # total is a lifetime bound on every state count.
-                count_bound = sum(counts)
-            else:
-                count_bound = max(counts, default=0)
-                count_bound += max_steps * self._max_positive_delta
-            if count_bound > 0 and (count_bound >> limit_bits) > 0:
-                raise OverflowError(
-                    "population or step budget too large for the int64 NumPy "
-                    f"engine (state counts may reach {count_bound} over "
-                    f"{max_steps} steps, risking scheduler-weight overflow "
-                    f"on {num_transitions} transitions); use "
-                    "engine='compiled', which computes weights in "
-                    "arbitrary-precision Python integers"
-                )
+            # Static int64-overflow guard, shared with the ensemble engine.
+            self.check_weight_overflow(counts, max_steps)
             arr = np.array(counts, dtype=np.int64)
             weights = self.full_weights(arr)
             randrange = rng.randrange

@@ -25,9 +25,9 @@ def _honour_forced_engine():
                 f"REPRO_FORCE_ENGINE must be one of {_ENGINES}, got {forced!r}",
                 returncode=4,
             )
-        if forced == "numpy":
+        if forced in ("numpy", "ensemble"):
             pytest.importorskip(
                 "numpy",
-                reason="REPRO_FORCE_ENGINE=numpy requires the optional 'sim' extra",
+                reason=f"REPRO_FORCE_ENGINE={forced} requires the optional 'sim' extra",
             )
     yield

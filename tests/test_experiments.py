@@ -18,6 +18,7 @@ from repro.experiments import (
     experiment_e10_parallel_batch,
     experiment_e11_large_net_throughput,
     experiment_e12_parameter_sweep,
+    experiment_e14_ensemble_throughput,
     random_interaction_protocol,
     registry,
 )
@@ -58,7 +59,7 @@ class TestHarness:
     def test_registry_contains_all_experiments(self):
         assert set(registry.ids()) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-            "E12", "E13",
+            "E12", "E13", "E14",
         }
 
     def test_registry_unknown_experiment(self):
@@ -223,8 +224,54 @@ class TestExperimentE11:
         for transitions, engines in by_group.items():
             assert {"reference", "compiled"} <= set(engines)
             assert engines["compiled"]["speedup"] == 1.0
+            assert engines["compiled"]["baseline"] == "compiled"
             measured = {row["interactions"] for row in engines.values()}
             assert len(measured) == 1  # identical trajectories everywhere
+
+    def test_fallback_baseline_labels_rows_when_codegen_is_unavailable(self):
+        # Above compiled_up_to the compiled denominator does not exist; the
+        # measured engines must still report a speedup, against a labeled
+        # reference-engine baseline extrapolated from a short run, instead
+        # of the empty cells this sweep point used to produce.
+        table = experiment_e11_large_net_throughput(
+            transition_counts=(30,),
+            max_steps=200,
+            reference_up_to=40,
+            compiled_up_to=20,
+            reference_fallback_steps=50,
+        )
+        rows = {row["engine"]: row for row in table.rows}
+        assert rows["compiled"]["speedup"] is None
+        assert rows["compiled"]["baseline"] is None
+        reference_row = rows["reference"]
+        assert reference_row["baseline"].startswith("reference (extrapolated")
+        assert reference_row["speedup"] is not None
+        assert reference_row["speedup"] > 0
+
+
+class TestExperimentE14:
+    def test_reduced_sweep_is_bit_identical_and_reports_speedups(self):
+        pytest.importorskip("numpy", reason="E14 measures the ensemble engine")
+        # The experiment raises internally unless every ensemble row is
+        # bit-identical to its per-run NumPy counterpart, so a clean table
+        # is itself the equivalence assertion.
+        table = experiment_e14_ensemble_throughput(
+            transition_counts=(60, 300),
+            repetition_counts=(4,),
+            max_steps=80,
+        )
+        assert len(table) == 4
+        rows = {
+            (row["transitions"], row["engine"]): row for row in table.rows
+        }
+        for transitions in (60, 300):
+            assert rows[(transitions, "numpy")]["speedup"] == 1.0
+            assert rows[(transitions, "ensemble")]["speedup"] > 0
+            assert (
+                rows[(transitions, "numpy")]["interactions"]
+                == rows[(transitions, "ensemble")]["interactions"]
+                == 4 * 80
+            )
 
 
 class TestExperimentE12:

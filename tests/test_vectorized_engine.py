@@ -251,7 +251,10 @@ class TestEngineSelection:
         monkeypatch.setenv("REPRO_FORCE_ENGINE", "auto")
         assert Simulator(protocol, seed=0)._stepper is not None
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_force_engine_env_does_not_override_explicit_engines(self, monkeypatch):
+        # The shadowed override intentionally trips the one-time warning
+        # (tested on its own in test_ensemble_engine.py).
         monkeypatch.setenv("REPRO_FORCE_ENGINE", "numpy")
         explicit = Simulator(majority_protocol(), seed=0, engine="compiled")._compiled
         assert isinstance(explicit, CompiledNet)
