@@ -27,7 +27,19 @@ The recognized variables:
     (:mod:`repro.simulation.batch`) when ``max_workers`` is not given.  Read
     through :func:`default_batch_workers`.
 
-Both helpers read the environment on every call (no caching), so tests can
+``REPRO_FAULT_PLAN``
+    A deterministic fault-injection plan for the distributed-sweep chaos
+    harness (:mod:`repro.sweep.faults`): named injection points in the claim
+    store and claim-loop runner fire scripted ``raise``/``kill``/``drop``
+    actions on scripted hit counts, so crash tests are reproducible.  The
+    variable holds the plan's text rendering (e.g. ``"mid-cell@1:kill"``);
+    parsing lives in :mod:`repro.sweep.faults` — this module only reads the
+    raw text through :func:`fault_plan_text`.  Empty/unset means no faults.
+    Fault injection only ever interrupts *bookkeeping and control flow*,
+    never the simulations themselves, so an installed plan cannot change any
+    computed result — only whether (and when) it gets committed.
+
+All helpers read the environment on every call (no caching), so tests can
 monkeypatch ``os.environ`` and worker processes inherit whatever the parent
 exported at spawn time — the behavior the CI jobs pin.
 """
@@ -40,8 +52,10 @@ from typing import Optional, Sequence, Set, Tuple
 
 __all__ = [
     "BATCH_WORKERS_ENV",
+    "FAULT_PLAN_ENV",
     "FORCE_ENGINE_ENV",
     "default_batch_workers",
+    "fault_plan_text",
     "forced_engine",
     "notice_explicit_engine",
 ]
@@ -53,6 +67,21 @@ FORCE_ENGINE_ENV = "REPRO_FORCE_ENGINE"
 #: Environment override for the default batch worker count (used by the CI
 #: batch smoke job to pin the suite to a known degree of parallelism).
 BATCH_WORKERS_ENV = "REPRO_BATCH_DEFAULT_WORKERS"
+
+#: Environment carrier for the deterministic fault-injection plan of the
+#: distributed-sweep chaos harness (parsed by :mod:`repro.sweep.faults`).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+def fault_plan_text() -> str:
+    """The raw ``REPRO_FAULT_PLAN`` text, or ``""`` when unset.
+
+    Only the *read* lives here (the sanctioned environment funnel); the plan
+    grammar and its validation live in :mod:`repro.sweep.faults`, which calls
+    this lazily the first time a fault point is evaluated with no plan
+    installed programmatically.
+    """
+    return os.environ.get(FAULT_PLAN_ENV, "").strip()
 
 
 def forced_engine(valid: Sequence[str]) -> Optional[str]:

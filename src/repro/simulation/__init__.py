@@ -72,7 +72,13 @@ statistics; :mod:`repro.analytics` builds the trajectory-derived metrics,
 ensemble aggregates and diffing tools on top.
 """
 
-from .batch import BatchRunner, WorkerPool, run_ensemble
+from .batch import (
+    BatchRunner,
+    WorkerCrashError,
+    WorkerPool,
+    WorkerTimeoutError,
+    run_ensemble,
+)
 from .compiled import CompiledNet
 from .scheduler import Scheduler, TransitionScheduler, UniformScheduler
 from .simulator import AUTO_VECTORIZE_THRESHOLD, SimulationResult, Simulator, simulate
@@ -98,6 +104,8 @@ __all__ = [
     "simulate",
     "BatchRunner",
     "WorkerPool",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
     "run_ensemble",
     "Trajectory",
     "DEFAULT_TRAJECTORY_CAPACITY",

@@ -51,6 +51,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import random
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import default_batch_workers as _default_max_workers
@@ -60,9 +61,73 @@ from .scheduler import Scheduler
 from .simulator import SimulationResult, Simulator
 from .trajectory import DEFAULT_TRAJECTORY_CAPACITY
 
-__all__ = ["BatchRunner", "WorkerPool", "run_ensemble"]
+__all__ = [
+    "BatchRunner",
+    "WorkerCrashError",
+    "WorkerPool",
+    "WorkerTimeoutError",
+    "run_ensemble",
+]
 
 _BACKENDS = ("serial", "process")
+
+#: How often the dispatch loop checks a pending ensemble for completion,
+#: worker death, or timeout (seconds; uses the monotonic clock).
+_POLL_INTERVAL = 0.05
+#: After noticing a dead worker, how long to keep waiting for the map to
+#: complete anyway — the death may belong to a worker whose tasks already
+#: finished (or to pool shutdown races), in which case the results arrive
+#: and no error is raised.
+_CRASH_GRACE = 0.5
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker process died mid-ensemble (its task is unrecoverable).
+
+    ``multiprocessing.Pool`` has no broken-pool detection: a worker killed by
+    the OS (OOM, SIGKILL, a segfaulting extension) silently loses its
+    in-flight chunk and the ``map`` blocks forever.  The pool dispatch loop
+    watches the worker processes instead and raises this typed error, carrying
+    the spec and seed context (``protocol_name``, ``seeds``, ``exitcodes``) so
+    the sweep claim loop can convert it into a retry-or-park decision for the
+    affected cell instead of hanging — or killing — the whole runner.
+    """
+
+    def __init__(
+        self, protocol_name: str, seeds: Sequence[int], exitcodes: Sequence[int]
+    ) -> None:
+        self.protocol_name = protocol_name
+        self.seeds: Tuple[int, ...] = tuple(seeds)
+        self.exitcodes: Tuple[int, ...] = tuple(exitcodes)
+        super().__init__(
+            f"worker process died (exitcodes {self.exitcodes}) while running "
+            f"a {len(self.seeds)}-seed ensemble of protocol "
+            f"{protocol_name!r}; the pool was torn down and will be rebuilt "
+            "on next use"
+        )
+
+
+class WorkerTimeoutError(RuntimeError):
+    """An ensemble exceeded its wall-clock budget and the pool was torn down.
+
+    Hung cells (a livelocked scheduler, a pathological parameter corner)
+    would otherwise stall a sweep runner forever; the claim loop treats this
+    exactly like a crash: retry the cell with backoff, park it when retries
+    are exhausted.  Carries the same ``protocol_name`` / ``seeds`` context as
+    :class:`WorkerCrashError` plus the exceeded ``timeout``.
+    """
+
+    def __init__(
+        self, protocol_name: str, seeds: Sequence[int], timeout: float
+    ) -> None:
+        self.protocol_name = protocol_name
+        self.seeds: Tuple[int, ...] = tuple(seeds)
+        self.timeout = float(timeout)
+        super().__init__(
+            f"ensemble of protocol {protocol_name!r} ({len(self.seeds)} seeds) "
+            f"did not finish within {timeout} s; the pool was torn down and "
+            "will be rebuilt on next use"
+        )
 
 # The default worker count honours the ``REPRO_BATCH_DEFAULT_WORKERS``
 # environment override (used by the CI batch smoke job to pin the suite to a
@@ -303,6 +368,23 @@ class WorkerPool:
             self._pool = None
         self._closed = True
 
+    def _abandon_pool(self) -> None:
+        """Tear down a compromised pool but keep this :class:`WorkerPool` open.
+
+        Called when a worker died or an ensemble timed out: the underlying
+        ``multiprocessing`` pool (whose result queues may reference lost
+        tasks) is terminated, and the *next* :meth:`run_seeds` lazily builds
+        a fresh one — the containment contract the sweep claim loop relies
+        on, where one crashed cell must not spend the runner's pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:  # pragma: no cover - platform-dependent teardown
+                pass
+
     def __enter__(self) -> "WorkerPool":
         self._check_open()
         return self
@@ -336,6 +418,7 @@ class WorkerPool:
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
         analytics: Any = None,
         spec_bytes: Optional[bytes] = None,
+        timeout: Optional[float] = None,
     ) -> List[SimulationResult]:
         """Run one repetition per seed over the pool (index-aligned results).
 
@@ -348,12 +431,22 @@ class WorkerPool:
         :class:`BatchRunner` fast path, the sweep runner's per-cell-group
         cache) skip re-pickling — and guaranteeing the worker-side cache key
         is byte-stable across calls.
+
+        ``timeout`` bounds the whole ensemble in wall-clock seconds
+        (monotonic clock — a budget, never a simulation input): on expiry
+        the pool is torn down and :class:`WorkerTimeoutError` raised.  A
+        worker process dying mid-ensemble likewise raises
+        :class:`WorkerCrashError` instead of blocking forever.  After either
+        error the :class:`WorkerPool` remains usable — the next call builds
+        fresh worker processes.
         """
         self._check_open()
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be at least 1, got {chunk_size}")
         if record_trajectory and trajectory_capacity < 1:
             raise ValueError("trajectory_capacity must be at least 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
         _validate_analytics(analytics, process_backend=True)
         seeds = list(seeds)
         configuration = protocol.initial_configuration(inputs)
@@ -375,8 +468,61 @@ class WorkerPool:
             spec_bytes, configuration, chunks, max_steps, stability_window,
             record_trajectory, trajectory_capacity, analytics,
         )
-        chunk_results = self._ensure_pool().map(_run_worker_task, tasks)
+        chunk_results = self._await_map(
+            tasks, timeout, protocol.name or "protocol", seeds
+        )
         return [result for chunk in chunk_results for result in chunk]
+
+    def _await_map(
+        self,
+        tasks: List[tuple],
+        timeout: Optional[float],
+        protocol_name: str,
+        seeds: Sequence[int],
+    ) -> List[List[SimulationResult]]:
+        """Dispatch tasks and await them under crash and timeout watch.
+
+        A plain ``Pool.map`` would block forever if a worker process dies
+        (its in-flight chunk is silently lost — ``multiprocessing.Pool`` has
+        no broken-pool signal) and has no overall deadline.  This loop polls
+        the async result, a snapshot of the worker processes, and the
+        monotonic clock; on worker death or deadline expiry it abandons the
+        pool (see :meth:`_abandon_pool`) and raises the typed error.
+
+        The pool replenishes dead workers automatically, which is why the
+        watch runs over a *snapshot* taken at dispatch: a snapshot worker
+        with a non-``None`` exitcode died while our tasks were (potentially)
+        in flight, no matter what replaced it.
+        """
+        pool = self._ensure_pool()
+        workers = list(getattr(pool, "_pool", []))
+        pending = pool.map_async(_run_worker_task, tasks)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            pending.wait(_POLL_INTERVAL)
+            if pending.ready():
+                return list(pending.get())
+            exitcodes = [
+                worker.exitcode
+                for worker in workers
+                if worker.exitcode is not None
+            ]
+            if exitcodes:
+                # The death may be harmless (its chunks already returned);
+                # give the map a short grace to complete before declaring
+                # the ensemble lost.
+                pending.wait(_CRASH_GRACE)
+                if pending.ready():
+                    return list(pending.get())
+                self._abandon_pool()
+                raise WorkerCrashError(protocol_name, seeds, exitcodes)
+            if deadline is not None and time.monotonic() >= deadline:
+                self._abandon_pool()
+                raise WorkerTimeoutError(
+                    protocol_name, seeds, timeout if timeout is not None else 0.0
+                )
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else (

@@ -31,7 +31,24 @@ top fired transitions land as additional byte-stable columns (see
 :mod:`repro.analytics`, experiment E13).
 """
 
-from .runner import SweepReport, SweepRunner, to_experiment_table
+from .dbstore import BOOKKEEPING_COLUMNS, Claim, SqliteResultStore
+from .faults import (
+    ACTIONS,
+    INJECTION_POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    fault_point,
+    install_fault_plan,
+)
+from .runner import (
+    CellExecutionError,
+    ClaimReport,
+    SweepReport,
+    SweepRunner,
+    claim_worker,
+    to_experiment_table,
+)
 from .spec import (
     KEYFIELDS,
     SCHEDULERS,
@@ -54,6 +71,7 @@ from .store import (
     MemoryResultStore,
     ResultStore,
     StoreCorruptionError,
+    normalize_error_message,
     open_store,
 )
 
@@ -79,6 +97,20 @@ __all__ = [
     "CsvResultStore",
     "JsonlResultStore",
     "MemoryResultStore",
+    "SqliteResultStore",
+    "BOOKKEEPING_COLUMNS",
+    "Claim",
+    "ClaimReport",
+    "CellExecutionError",
+    "claim_worker",
     "StoreCorruptionError",
+    "normalize_error_message",
     "open_store",
+    "ACTIONS",
+    "INJECTION_POINTS",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "fault_point",
+    "install_fault_plan",
 ]

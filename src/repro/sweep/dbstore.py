@@ -1,0 +1,718 @@
+"""A sqlite-backed :class:`~repro.sweep.store.ResultStore` with atomic claims.
+
+The CSV/JSONL stores assume **one** writer: a single ``SweepRunner`` process
+owns the file and persists full-table snapshots.  This module is the
+multi-runner backend, py_experimenter style: the grid lives in one
+``.sqlite`` file and any number of independent runner processes — one host
+or many sharing a filesystem — repeatedly *claim* an open cell, execute it,
+and commit the result, until the table drains.  Concurrency safety comes
+entirely from sqlite:
+
+* the database runs in WAL mode with a busy timeout, so readers never block
+  the single writer and contending writers queue instead of erroring;
+* every claim is one ``BEGIN IMMEDIATE`` transaction — select an eligible
+  row, mark it ``running`` with the claimant's owner id and a lease expiry,
+  commit — so two runners can never claim the same cell;
+* result commits are **owner-guarded**: ``UPDATE … WHERE cell=? AND
+  owner=? AND status='running'`` with a rowcount check, so a runner whose
+  lease was reclaimed (it stalled, its heartbeat was partitioned away)
+  cannot overwrite the reclaimant's work — its late commit is refused and
+  reported as lost.
+
+Liveness under crashes is lease-based: a claim holds ``lease_expires``
+(wall-clock seconds), runners extend it via :meth:`~SqliteResultStore.
+heartbeat` while the cell executes, and a ``running`` row whose lease has
+expired is presumed orphaned by a dead runner and becomes claimable again.
+Each reclaim increments ``retry_count``; a failing cell backs off
+exponentially (``backoff_base * 2**(attempts-1)`` seconds between tries)
+and is **parked** as a plain ``error`` row once ``max_retries`` is
+exhausted, so one poisoned cell cannot livelock the fleet.
+
+The store still *is* a :class:`ResultStore`: the single-writer API
+(``ensure`` / ``mark_running`` / ``mark_done`` / ``mark_error`` / ``rows``)
+works unchanged, rows carry exactly :data:`~repro.sweep.store.COLUMNS` in
+registration order, and the claim bookkeeping (owner / lease / retry
+columns) lives **outside** that schema — so ``rows()`` from a drained claim
+store is directly comparable (and, by the determinism of cell seeds,
+byte-identical once rendered) to a single-process sweep's CSV table.
+
+Wall-clock time is used *only* for leases and backoff — scheduling
+bookkeeping, never a simulation input; tests inject a fake clock.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from .faults import fault_point
+from .spec import KEYFIELDS
+from .store import (
+    COLUMNS,
+    STATUS_CREATED,
+    STATUS_DONE,
+    STATUS_ERROR,
+    STATUS_RUNNING,
+    ResultStore,
+    StoreCorruptionError,
+    _FLOAT_COLUMNS,
+    _INT_COLUMNS,
+    _RESULT_COLUMNS,
+    _STATUSES,
+    _done_values,
+    normalize_error_message,
+)
+
+__all__ = [
+    "BOOKKEEPING_COLUMNS",
+    "Claim",
+    "DEFAULT_BACKOFF_BASE",
+    "DEFAULT_BUSY_TIMEOUT",
+    "DEFAULT_LEASE_SECONDS",
+    "DEFAULT_MAX_RETRIES",
+    "SqliteResultStore",
+]
+
+#: Claim-lifecycle defaults.  A lease far longer than any sane cell runtime
+#: (heartbeats extend it anyway); a handful of retries with seconds-scale
+#: backoff before a cell is parked.
+DEFAULT_LEASE_SECONDS = 60.0
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_BACKOFF_BASE = 1.0
+DEFAULT_BUSY_TIMEOUT = 30.0
+
+#: The claim-bookkeeping columns sqlite adds *next to* the shared
+#: :data:`~repro.sweep.store.COLUMNS` schema.  They are deliberately not
+#: part of ``rows()`` output: done-row comparisons against single-process
+#: stores exclude exactly this set.
+BOOKKEEPING_COLUMNS = ("owner", "lease_expires", "retry_count", "next_attempt")
+
+#: Seeds are unsigned 64-bit (sha256-derived) and can exceed sqlite's signed
+#: INTEGER range, so the seed column is stored as TEXT and parsed back.
+_TEXT_INT_COLUMNS = frozenset({"seed"})
+
+
+def _wall_clock() -> float:
+    """Lease/backoff timestamps (bookkeeping only, never a simulation input)."""
+    return time.time()  # qa: allow[DET102] -- lease bookkeeping, not a simulation input
+
+
+def _column_type(column: str) -> str:
+    if column in _TEXT_INT_COLUMNS:
+        return "TEXT"
+    if column in _INT_COLUMNS:
+        return "INTEGER"
+    if column in _FLOAT_COLUMNS:
+        return "REAL"
+    return "TEXT"
+
+
+def _to_db(column: str, value: object) -> object:
+    if value is None:
+        return None
+    if column in _TEXT_INT_COLUMNS:
+        return str(value)
+    return value
+
+
+def _from_db(column: str, value: object, context: str) -> object:
+    if value is None:
+        return None
+    if column in _TEXT_INT_COLUMNS:
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise StoreCorruptionError(
+                f"{context}: column {column!r} holds non-integer value {value!r}"
+            ) from None
+    return value
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A successfully claimed cell: who holds it, and for which attempt.
+
+    ``attempt`` is the row's retry count at claim time: 0 on the first
+    execution, 1 after one failure/reclaim, and so on — the claim loop
+    reports it so chaos logs show which attempt finally committed.
+    """
+
+    cell: str
+    owner: str
+    attempt: int
+    seed: int
+    keyfields: Dict[str, object]
+
+
+class SqliteResultStore(ResultStore):
+    """The claim-capable sqlite backend (see the module docstring).
+
+    Parameters
+    ----------
+    path:
+        The ``.sqlite`` database path (created if absent).
+    lease_seconds / max_retries / backoff_base:
+        Claim-lifecycle knobs; see :meth:`claim_next` and :meth:`fail_claim`.
+    busy_timeout:
+        Seconds a writer waits on a contended database before sqlite gives
+        up (surfaced as ``sqlite3.OperationalError: database is locked``).
+    clock:
+        The wall-clock source for leases and backoff.  Tests inject a fake;
+        production uses :func:`time.time` via the module helper.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        busy_timeout: float = DEFAULT_BUSY_TIMEOUT,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be positive, got {lease_seconds}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+        if backoff_base < 0:
+            raise ValueError(f"backoff_base must be non-negative, got {backoff_base}")
+        # Deliberately *not* calling super().__init__: the base constructor
+        # would try to text-parse the database file.  The in-memory ``_rows``
+        # mirror exists only to serve the read API and is refreshed from the
+        # database (the sole source of truth) before every read.
+        self.path: Optional[Path] = Path(path)
+        self._rows: Dict[str, Dict[str, object]] = {}
+        self.recovered_cells: Tuple[str, ...] = ()
+        self.lease_seconds = float(lease_seconds)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self._clock = clock if clock is not None else _wall_clock
+        # One connection, shared across the claim loop and the heartbeat
+        # thread; the lock serializes them (sqlite connections are not
+        # thread-safe, and cross-*process* safety comes from sqlite itself).
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            str(self.path),
+            timeout=busy_timeout,
+            isolation_level=None,
+            check_same_thread=False,
+        )
+        with self._lock:
+            self._connection.execute(
+                f"PRAGMA busy_timeout={int(busy_timeout * 1000)}"
+            )
+            self._enable_wal(busy_timeout)
+            self._create_schema()
+
+    def _enable_wal(self, busy_timeout: float) -> None:
+        """Switch the database to WAL, retrying through the first-open race.
+
+        The journal-mode change needs a moment of exclusivity; sqlite's busy
+        handler does not cover every lock transition involved, so two
+        processes creating the same store can see a raw "database is locked"
+        here.  WAL is persistent in the file header — once either opener
+        wins, the other's retry is a no-op read.
+        """
+        deadline = time.monotonic() + busy_timeout
+        while True:
+            try:
+                self._connection.execute("PRAGMA journal_mode=WAL")
+                return
+            except sqlite3.OperationalError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # ------------------------------------------------------------------
+    # Schema and connection plumbing
+    # ------------------------------------------------------------------
+    def _create_schema(self) -> None:
+        result_columns = ", ".join(
+            f'"{column}" {_column_type(column)}'
+            for column in COLUMNS
+            if column != "cell"
+        )
+        self._connection.execute(
+            'CREATE TABLE IF NOT EXISTS cells ('
+            '"cell" TEXT PRIMARY KEY, '
+            '"position" INTEGER NOT NULL, '
+            f"{result_columns}, "
+            '"owner" TEXT, '
+            '"lease_expires" REAL, '
+            '"retry_count" INTEGER NOT NULL DEFAULT 0, '
+            '"next_attempt" REAL)'
+        )
+
+    def _transaction(self) -> "_ImmediateTransaction":
+        return _ImmediateTransaction(self._connection, self._lock)
+
+    def close(self) -> None:
+        """Close the database connection (the store is unusable after)."""
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "SqliteResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ResultStore contract (single-writer API)
+    # ------------------------------------------------------------------
+    def ensure(
+        self, cell_id: str, keyfields: Mapping[str, object], seed: int
+    ) -> bool:
+        """Register a cell unless present (cross-process idempotent).
+
+        Unlike the file stores, several launcher processes may race to
+        register the same grid: ``INSERT OR IGNORE`` makes the race benign,
+        and the loser still *verifies* the surviving row agrees on keyfields
+        and seed — a mismatch means two different specs were pointed at one
+        database, which raises :class:`StoreCorruptionError` exactly like a
+        foreign-file resume would.
+        """
+        with self._transaction():
+            inserted = self._connection.execute(
+                'INSERT OR IGNORE INTO cells ("cell", "position", "seed", "status", '
+                + ", ".join(f'"{key}"' for key in keyfields)
+                + ") VALUES (?, (SELECT COALESCE(MAX(position) + 1, 0) FROM cells), ?, ?, "
+                + ", ".join("?" for _ in keyfields)
+                + ")",
+                [cell_id, _to_db("seed", seed), STATUS_CREATED]
+                + [_to_db(key, value) for key, value in keyfields.items()],
+            ).rowcount
+            row = self._fetch_row(cell_id)
+        if row is None:  # pragma: no cover - insert-or-ignore guarantees a row
+            raise StoreCorruptionError(f"cell {cell_id!r} vanished mid-registration")
+        for key, value in keyfields.items():
+            if row.get(key) != value:
+                raise StoreCorruptionError(
+                    f"store row for {cell_id!r} disagrees on {key!r} "
+                    f"({row.get(key)!r} != {value!r}); this store was "
+                    "written by a different sweep spec"
+                )
+        if row.get("seed") != seed:
+            raise StoreCorruptionError(
+                f"store row for {cell_id!r} carries seed {row.get('seed')!r}, "
+                f"expected {seed}; this store was written with a different "
+                "master seed"
+            )
+        return inserted == 1
+
+    def mark_running(self, cell_id: str) -> None:
+        with self._transaction():
+            self._require_cell(cell_id)
+            clears = ", ".join(f'"{column}" = NULL' for column in _RESULT_COLUMNS)
+            self._connection.execute(
+                f'UPDATE cells SET "status" = ?, {clears} WHERE "cell" = ?',
+                (STATUS_RUNNING, cell_id),
+            )
+
+    def mark_done(
+        self,
+        cell_id: str,
+        statistics: object,
+        accuracy: Optional[float] = None,
+        consensus_quantiles: Optional[Tuple[Optional[float], ...]] = None,
+        top_transitions: Optional[str] = None,
+    ) -> None:
+        values = _done_values(statistics, accuracy, consensus_quantiles, top_transitions)
+        with self._transaction():
+            self._require_cell(cell_id)
+            self._apply_values(cell_id, values)
+
+    def mark_error(self, cell_id: str, message: str) -> None:
+        with self._transaction():
+            self._require_cell(cell_id)
+            clears = ", ".join(f'"{column}" = NULL' for column in _RESULT_COLUMNS)
+            self._connection.execute(
+                f'UPDATE cells SET "status" = ?, {clears}, "error" = ? '
+                'WHERE "cell" = ?',
+                (STATUS_ERROR, normalize_error_message(message), cell_id),
+            )
+
+    def import_rows(self, rows: "List[Mapping[str, object]]") -> None:
+        with self._transaction():
+            for row in rows:
+                cell_id = row.get("cell")
+                if not cell_id:
+                    raise ValueError("imported rows must carry a 'cell' id")
+                if row.get("status") not in _STATUSES:
+                    raise ValueError(
+                        f"imported row for {cell_id!r} carries invalid status "
+                        f"{row.get('status')!r}"
+                    )
+                self._connection.execute(
+                    'INSERT OR REPLACE INTO cells ("cell", "position", '
+                    + ", ".join(f'"{c}"' for c in COLUMNS if c != "cell")
+                    + ") VALUES (?, "
+                    "COALESCE((SELECT position FROM cells WHERE cell = ?), "
+                    "(SELECT COALESCE(MAX(position) + 1, 0) FROM cells)), "
+                    + ", ".join("?" for c in COLUMNS if c != "cell")
+                    + ")",
+                    [cell_id, cell_id]
+                    + [_to_db(c, row.get(c)) for c in COLUMNS if c != "cell"],
+                )
+
+    def flush(self) -> None:
+        """A no-op: every mutation above already committed durably."""
+
+    # ------------------------------------------------------------------
+    # Claim lifecycle (the multi-runner API)
+    # ------------------------------------------------------------------
+    def claim_next(self, owner: str) -> Optional[Claim]:
+        """Atomically claim the next open cell for ``owner``, or ``None``.
+
+        Eligible, in grid (registration) order:
+
+        * ``created`` rows — never attempted;
+        * ``running`` rows whose lease expired — orphaned by a dead or
+          partitioned runner; reclaiming increments ``retry_count`` and, if
+          that exhausts ``max_retries``, the row is *parked* as ``error``
+          (with a lease-expiry message) instead of claimed;
+        * ``error`` rows with a due ``next_attempt`` — failed earlier, now
+          past their backoff; parked rows (``next_attempt`` NULL) stay put.
+
+        The whole scan-and-mark runs in one ``BEGIN IMMEDIATE`` transaction,
+        so concurrent claimants serialize and can never double-claim.  Returns
+        ``None`` only when no row is currently eligible (the grid may still
+        hold live claims or backing-off rows — see :meth:`unresolved_count`).
+        """
+        if not owner:
+            raise ValueError("claim owner id must be non-empty")
+        now = self._clock()
+        with self._transaction() as txn:
+            eligible = self._connection.execute(
+                'SELECT "cell", "status", "retry_count" FROM cells WHERE '
+                '("status" = ?) OR '
+                '("status" = ? AND "lease_expires" IS NOT NULL AND "lease_expires" <= ?) OR '
+                '("status" = ? AND "next_attempt" IS NOT NULL AND "next_attempt" <= ?) '
+                'ORDER BY "position"',
+                (STATUS_CREATED, STATUS_RUNNING, now, STATUS_ERROR, now),
+            ).fetchall()
+            for cell_id, status, retry_count in eligible:
+                attempt = int(retry_count)
+                if status == STATUS_RUNNING:
+                    # A stale lease: the previous owner is presumed dead.
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        self._park(
+                            cell_id,
+                            attempt,
+                            f"lease expired after {attempt} attempts; parked",
+                        )
+                        continue
+                clears = ", ".join(
+                    f'"{column}" = NULL' for column in _RESULT_COLUMNS
+                )
+                self._connection.execute(
+                    f'UPDATE cells SET "status" = ?, {clears}, "owner" = ?, '
+                    '"lease_expires" = ?, "retry_count" = ?, "next_attempt" = NULL '
+                    'WHERE "cell" = ?',
+                    (STATUS_RUNNING, owner, now + self.lease_seconds, attempt, cell_id),
+                )
+                row = self._fetch_row(cell_id)
+                if not fault_point("before-claim-commit"):
+                    # A scripted drop: abandon the claim (roll back) but
+                    # keep any parking decisions? No — the whole txn rolls
+                    # back, exactly like a runner dying mid-claim.
+                    txn.rollback()
+                    return None
+                assert row is not None
+                return Claim(
+                    cell=cell_id,
+                    owner=owner,
+                    attempt=attempt,
+                    seed=int(row["seed"]),  # type: ignore[arg-type]
+                    keyfields={key: row[key] for key in KEYFIELDS},
+                )
+        return None
+
+    def heartbeat(self, claim: Claim) -> bool:
+        """Extend a held claim's lease; returns whether the claim survives.
+
+        ``False`` means the claim is gone — the lease expired and another
+        runner reclaimed (or parked) the cell — and the holder should stop
+        wasting cycles on it.  The ``heartbeat-loss`` fault point models a
+        network partition: a ``drop`` rule silently suppresses the lease
+        extension (this call lies ``True``) so the lease expires under a
+        still-running cell.
+        """
+        if not fault_point("heartbeat-loss"):
+            return True
+        now = self._clock()
+        with self._transaction():
+            updated = self._connection.execute(
+                'UPDATE cells SET "lease_expires" = ? WHERE "cell" = ? AND '
+                '"owner" = ? AND "status" = ?',
+                (now + self.lease_seconds, claim.cell, claim.owner, STATUS_RUNNING),
+            ).rowcount
+        return updated == 1
+
+    def finish_claim(
+        self,
+        claim: Claim,
+        statistics: object,
+        accuracy: Optional[float] = None,
+        consensus_quantiles: Optional[Tuple[Optional[float], ...]] = None,
+        top_transitions: Optional[str] = None,
+    ) -> bool:
+        """Commit a claimed cell's results; returns whether the commit won.
+
+        The update is owner-guarded: it only applies while ``claim`` still
+        holds the row.  A ``False`` return means the commit was *lost* —
+        the lease expired and the cell was reclaimed (its new owner will
+        produce the identical row, so nothing is damaged) — or a scripted
+        ``before-result-write`` drop suppressed the write.  Either way the
+        claim holder must not retry the write: the row is no longer theirs.
+        """
+        values = _done_values(statistics, accuracy, consensus_quantiles, top_transitions)
+        if not fault_point("before-result-write"):
+            return False
+        with self._transaction():
+            assignments = ", ".join(f'"{column}" = ?' for column in values)
+            updated = self._connection.execute(
+                f'UPDATE cells SET {assignments}, "lease_expires" = NULL, '
+                '"next_attempt" = NULL '
+                'WHERE "cell" = ? AND "owner" = ? AND "status" = ?',
+                [_to_db(column, value) for column, value in values.items()]
+                + [claim.cell, claim.owner, STATUS_RUNNING],
+            ).rowcount
+        return updated == 1
+
+    def fail_claim(self, claim: Claim, message: str) -> str:
+        """Record a claimed cell's failure; returns the row's fate.
+
+        ``"retry"``
+            The failure is recorded (status ``error``) with ``next_attempt``
+            set ``backoff_base * 2**attempts`` seconds out — the row becomes
+            claimable again once the backoff elapses.
+        ``"parked"``
+            Retries are exhausted; the row is a terminal ``error`` row
+            (``next_attempt`` NULL) exactly as :meth:`mark_error` writes it,
+            plus the retry bookkeeping.
+        ``"lost"``
+            The claim had already been reclaimed; nothing was written.
+        """
+        now = self._clock()
+        with self._transaction():
+            held = self._connection.execute(
+                'SELECT "retry_count" FROM cells WHERE "cell" = ? AND '
+                '"owner" = ? AND "status" = ?',
+                (claim.cell, claim.owner, STATUS_RUNNING),
+            ).fetchone()
+            if held is None:
+                return "lost"
+            attempts = int(held[0]) + 1
+            if attempts > self.max_retries:
+                self._park(claim.cell, attempts, message)
+                return "parked"
+            clears = ", ".join(f'"{column}" = NULL' for column in _RESULT_COLUMNS)
+            backoff = self.backoff_base * (2 ** (attempts - 1))
+            self._connection.execute(
+                f'UPDATE cells SET "status" = ?, {clears}, "error" = ?, '
+                '"owner" = NULL, "lease_expires" = NULL, "retry_count" = ?, '
+                '"next_attempt" = ? WHERE "cell" = ?',
+                (
+                    STATUS_ERROR,
+                    normalize_error_message(message),
+                    attempts,
+                    now + backoff,
+                    claim.cell,
+                ),
+            )
+            return "retry"
+
+    def release_claim(self, claim: Claim) -> bool:
+        """Hand a held claim back untouched (graceful SIGTERM drain).
+
+        The row returns to ``created``, immediately claimable by any other
+        runner; a clean handback does not consume a retry (``retry_count``
+        stays at the claim's attempt number).  Returns whether the claim
+        was still held.
+        """
+        with self._transaction():
+            updated = self._connection.execute(
+                'UPDATE cells SET "status" = ?, "owner" = NULL, '
+                '"lease_expires" = NULL, "retry_count" = ?, "next_attempt" = NULL '
+                'WHERE "cell" = ? AND "owner" = ? AND "status" = ?',
+                (
+                    STATUS_CREATED,
+                    claim.attempt,
+                    claim.cell,
+                    claim.owner,
+                    STATUS_RUNNING,
+                ),
+            ).rowcount
+        return updated == 1
+
+    def _park(self, cell_id: str, attempts: int, message: str) -> None:
+        """Terminal error: record the failure with retries exhausted."""
+        clears = ", ".join(f'"{column}" = NULL' for column in _RESULT_COLUMNS)
+        self._connection.execute(
+            f'UPDATE cells SET "status" = ?, {clears}, "error" = ?, '
+            '"owner" = NULL, "lease_expires" = NULL, "retry_count" = ?, '
+            '"next_attempt" = NULL WHERE "cell" = ?',
+            (STATUS_ERROR, normalize_error_message(message), attempts, cell_id),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries (refresh the mirror from the database first)
+    # ------------------------------------------------------------------
+    def unresolved_count(self) -> int:
+        """Rows that still need work: not ``done`` and not parked.
+
+        Zero means the grid is fully drained (every cell is ``done`` or a
+        terminal ``error`` row) — the claim loop's exit condition when
+        waiting out other runners' live claims and backoff windows.
+        """
+        with self._lock:
+            (count,) = self._connection.execute(
+                'SELECT COUNT(*) FROM cells WHERE "status" NOT IN (?, ?) OR '
+                '("status" = ? AND "next_attempt" IS NOT NULL)',
+                (STATUS_DONE, STATUS_ERROR, STATUS_ERROR),
+            ).fetchone()
+        return int(count)
+
+    def next_attempt_at(self) -> Optional[float]:
+        """The soonest moment any backoff/lease makes a row eligible."""
+        with self._lock:
+            (soonest,) = self._connection.execute(
+                'SELECT MIN(t) FROM (SELECT "next_attempt" AS t FROM cells '
+                'WHERE "status" = ? AND "next_attempt" IS NOT NULL '
+                'UNION ALL SELECT "lease_expires" AS t FROM cells '
+                'WHERE "status" = ? AND "lease_expires" IS NOT NULL)',
+                (STATUS_ERROR, STATUS_RUNNING),
+            ).fetchone()
+        return None if soonest is None else float(soonest)
+
+    def bookkeeping(self, cell_id: str) -> Dict[str, object]:
+        """The claim-bookkeeping columns of one row (tests and diagnostics)."""
+        with self._lock:
+            fetched = self._connection.execute(
+                "SELECT "
+                + ", ".join(f'"{c}"' for c in BOOKKEEPING_COLUMNS)
+                + ' FROM cells WHERE "cell" = ?',
+                (cell_id,),
+            ).fetchone()
+        if fetched is None:
+            raise KeyError(f"unknown cell {cell_id!r}; call ensure() first")
+        return dict(zip(BOOKKEEPING_COLUMNS, fetched))
+
+    def _fetch_row(self, cell_id: str) -> Optional[Dict[str, object]]:
+        fetched = self._connection.execute(
+            "SELECT " + ", ".join(f'"{c}"' for c in COLUMNS)
+            + ' FROM cells WHERE "cell" = ?',
+            (cell_id,),
+        ).fetchone()
+        if fetched is None:
+            return None
+        context = f"{self.path}: cell {cell_id!r}"
+        return {
+            column: _from_db(column, value, context)
+            for column, value in zip(COLUMNS, fetched)
+        }
+
+    def _require_cell(self, cell_id: str) -> None:
+        found = self._connection.execute(
+            'SELECT 1 FROM cells WHERE "cell" = ?', (cell_id,)
+        ).fetchone()
+        if found is None:
+            raise KeyError(f"unknown cell {cell_id!r}; call ensure() first")
+
+    def _apply_values(self, cell_id: str, values: Mapping[str, object]) -> None:
+        assignments = ", ".join(f'"{column}" = ?' for column in values)
+        self._connection.execute(
+            f'UPDATE cells SET {assignments} WHERE "cell" = ?',
+            [_to_db(column, value) for column, value in values.items()] + [cell_id],
+        )
+
+    def _refresh(self) -> None:
+        with self._lock:
+            fetched = self._connection.execute(
+                "SELECT " + ", ".join(f'"{c}"' for c in COLUMNS)
+                + " FROM cells ORDER BY position"
+            ).fetchall()
+        rows: Dict[str, Dict[str, object]] = {}
+        for record in fetched:
+            row = {
+                column: _from_db(
+                    column, value, f"{self.path}: cell {record[0]!r}"
+                )
+                for column, value in zip(COLUMNS, record)
+            }
+            status = row.get("status")
+            if status not in _STATUSES:
+                raise StoreCorruptionError(
+                    f"{self.path}: row for {row.get('cell')!r} carries invalid "
+                    f"status {status!r}"
+                )
+            rows[str(row["cell"])] = row
+        self._rows = rows
+
+    def rows(self) -> List[Dict[str, object]]:
+        self._refresh()
+        return super().rows()
+
+    def get(self, cell_id: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            return self._fetch_row(cell_id)
+
+    def status(self, cell_id: str) -> Optional[str]:
+        row = self.get(cell_id)
+        return None if row is None else row["status"]  # type: ignore[return-value]
+
+    def status_counts(self) -> Dict[str, int]:
+        self._refresh()
+        return super().status_counts()
+
+    def __len__(self) -> int:
+        self._refresh()
+        return len(self._rows)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return self.get(cell_id) is not None
+
+
+class _ImmediateTransaction:
+    """``BEGIN IMMEDIATE`` … ``COMMIT`` with rollback on exceptions.
+
+    ``BEGIN IMMEDIATE`` takes the database write lock *up front*, so the
+    read-check-update sequences above are serialized across processes — the
+    sqlite-level mutual exclusion every claim guarantee rests on.
+    """
+
+    def __init__(self, connection: sqlite3.Connection, lock: threading.RLock):
+        self._connection = connection
+        self._lock = lock
+        self._finished = False
+
+    def __enter__(self) -> "_ImmediateTransaction":
+        self._lock.acquire()
+        try:
+            self._connection.execute("BEGIN IMMEDIATE")
+        except BaseException:
+            self._lock.release()
+            raise
+        return self
+
+    def rollback(self) -> None:
+        if not self._finished:
+            self._finished = True
+            self._connection.execute("ROLLBACK")
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        try:
+            if not self._finished:
+                self._finished = True
+                if exc_type is None:
+                    self._connection.execute("COMMIT")
+                else:
+                    self._connection.execute("ROLLBACK")
+        finally:
+            self._lock.release()

@@ -27,6 +27,8 @@ grid in its deterministic order and runs one seeded ensemble per cell:
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -38,12 +40,38 @@ from ..simulation.scheduler import Scheduler
 from ..simulation.simulator import SimulationResult, Simulator
 from ..simulation.statistics import accuracy_against_predicate, summarize_runs
 from ..simulation.trajectory import DEFAULT_TRAJECTORY_CAPACITY
+from .faults import InjectedFault, fault_point
 from .spec import SweepCell, SweepSpec, build_inputs_for
-from .store import STATUS_DONE, STATUS_ERROR, ResultStore
+from .store import STATUS_DONE, STATUS_ERROR, ResultStore, StoreCorruptionError
 
-__all__ = ["SweepReport", "SweepRunner", "to_experiment_table"]
+__all__ = [
+    "CellExecutionError",
+    "ClaimReport",
+    "SweepReport",
+    "SweepRunner",
+    "claim_worker",
+    "to_experiment_table",
+]
 
 _BACKENDS = ("serial", "process")
+
+
+class CellExecutionError(RuntimeError):
+    """A grid cell's ensemble failed (crash, timeout, or protocol error).
+
+    The claim loop's unit of containment: every failure inside
+    :meth:`SweepRunner._run_cell` — a raising protocol builder, a worker
+    process crash (:class:`~repro.simulation.batch.WorkerCrashError`), an
+    ensemble timeout (:class:`~repro.simulation.batch.WorkerTimeoutError`) —
+    is wrapped in this typed error carrying the cell id and the original
+    cause, and converted into a retry-or-park decision on the claim store
+    instead of killing the runner process.
+    """
+
+    def __init__(self, cell_id: str, cause: BaseException):
+        self.cell_id = cell_id
+        self.cause = cause
+        super().__init__(f"{type(cause).__name__}: {cause}")
 
 
 @dataclass(frozen=True)
@@ -76,6 +104,70 @@ class SweepReport:
         call or in the run a ``retry_errors=False`` resume skipped over.
         """
         return self.failed == 0 and self.skipped_errors == 0 and self.remaining == 0
+
+
+@dataclass(frozen=True)
+class ClaimReport:
+    """What one :meth:`SweepRunner.run_claims` loop did to a shared grid.
+
+    Unlike :class:`SweepReport`, the counters are *this runner's* view: other
+    runners may have executed the rest of the grid concurrently.  ``drained``
+    is the global statement — on exit, every row of the store was ``done`` or
+    a terminal (parked) ``error`` row.
+    """
+
+    #: This runner's owner id.
+    owner: str
+    #: Cells in the grid.
+    total: int
+    #: Claims this runner executed and committed.
+    executed: int
+    #: Claims that failed and were recorded for retry (backoff pending).
+    retried: int
+    #: Claims that failed with retries exhausted (terminal ``error`` rows).
+    parked: int
+    #: Commits refused because the lease had been reclaimed meanwhile (the
+    #: reclaimant recomputes the identical row, so nothing is damaged).
+    lost: int
+    #: Whether the store was fully drained when the loop exited.
+    drained: bool
+    #: Whether the loop exited on a stop request (SIGTERM drain) rather than
+    #: an empty store or an exhausted ``max_cells`` budget.
+    stopped: bool = False
+
+
+class _HeartbeatPump:
+    """A daemon thread extending a held claim's lease while the cell runs.
+
+    Beats every ``interval`` seconds (default: a third of the store's lease)
+    until stopped; each beat goes through the store's ``heartbeat`` — and
+    therefore through the ``heartbeat-loss`` fault point, which is how the
+    partition chaos tests starve a lease under a live runner.  A beat
+    returning False (the claim is gone) is remembered so the claim loop can
+    report the eventual lost commit with a cause.
+    """
+
+    def __init__(self, store: ResultStore, claim: object, interval: float):
+        self._store = store
+        self._claim = claim
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self.claim_alive = True
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def __enter__(self) -> "_HeartbeatPump":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _beat(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._store.heartbeat(self._claim):
+                self.claim_alive = False
+                return
 
 
 class SweepRunner:
@@ -233,6 +325,205 @@ class SweepRunner:
         )
 
     # ------------------------------------------------------------------
+    # Claim-based execution (multi-runner mode)
+    # ------------------------------------------------------------------
+    def run_claims(
+        self,
+        owner: str,
+        max_cells: Optional[int] = None,
+        cell_timeout: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        wait_for_stragglers: bool = True,
+        idle_wait: float = 0.2,
+        stop_event: Optional[threading.Event] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> ClaimReport:
+        """Drain the grid cooperatively: claim, execute, commit, repeat.
+
+        The multi-runner mode: any number of processes (one host or many
+        sharing a filesystem) point :meth:`run_claims` at the same sqlite
+        store and the grid drains concurrently.  Requires a claim-capable
+        store (:class:`~repro.sweep.dbstore.SqliteResultStore`).
+
+        Each iteration atomically claims the next open cell, executes its
+        ensemble (under a heartbeat pump extending the lease), and commits
+        the result through the owner-guarded ``finish_claim``.  A failing
+        cell — including worker crashes and ensemble timeouts, both wrapped
+        in :class:`CellExecutionError` — is recorded for retry with
+        exponential backoff, or parked as a terminal ``error`` row once the
+        store's ``max_retries`` is exhausted; the runner itself survives and
+        moves on.  Because every cell's seeds derive from the spec's master
+        seed and the cell identity alone, the drained table's ``done`` rows
+        are byte-identical to a single-process :meth:`run` of the same spec,
+        no matter how many runners participated or how often they crashed.
+
+        Parameters
+        ----------
+        owner:
+            This runner's claim-owner id; must be unique across concurrently
+            live runners (the launcher derives it from host and index).
+        max_cells:
+            Stop after processing this many claims (the controlled-
+            interruption knob; ``None`` = run until the grid drains).
+        cell_timeout:
+            Wall-clock budget per cell ensemble (process backend only) —
+            expiry raises through the crash containment and counts as a
+            cell failure.
+        heartbeat_interval:
+            Seconds between lease extensions (default: a third of the
+            store's ``lease_seconds``).
+        wait_for_stragglers:
+            When no cell is claimable but unresolved rows remain (live
+            claims of other runners, rows in backoff), keep polling every
+            ``idle_wait`` seconds until the grid drains (default) instead of
+            returning.  Waiting runners also adopt expired leases, so a
+            SIGKILLed peer's cells are re-executed without any restart.
+        stop_event:
+            Optional external stop flag: the loop finishes the cell in
+            flight, then exits without claiming further — the graceful
+            SIGTERM drain of :func:`claim_worker`.
+        progress:
+            Optional callback receiving one line per processed claim.
+        """
+        claim_api = ("claim_next", "finish_claim", "fail_claim", "heartbeat")
+        if not all(hasattr(self.store, name) for name in claim_api):
+            raise TypeError(
+                "run_claims requires a claim-capable store (a .sqlite path / "
+                f"SqliteResultStore), got {type(self.store).__name__}"
+            )
+        if max_cells is not None and max_cells < 0:
+            raise ValueError(f"max_cells must be non-negative, got {max_cells}")
+        if idle_wait <= 0:
+            raise ValueError(f"idle_wait must be positive, got {idle_wait}")
+        if heartbeat_interval is None:
+            heartbeat_interval = self.store.lease_seconds / 3.0
+
+        cells = self.spec.cells()
+        by_id = {cell.cell_id: cell for cell in cells}
+        for cell in cells:
+            self.store.ensure(
+                cell.cell_id, cell.keyfields(), self.spec.cell_seed(cell)
+            )
+
+        executed = retried = parked = lost = processed = 0
+        stopped = False
+        caches = _CellCaches()
+        pool: Optional[WorkerPool] = None
+        try:
+            while True:
+                if stop_event is not None and stop_event.is_set():
+                    stopped = True
+                    break
+                if max_cells is not None and processed >= max_cells:
+                    break
+                claim = self.store.claim_next(owner)
+                if claim is None:
+                    if not wait_for_stragglers:
+                        break
+                    if self.store.unresolved_count() == 0:
+                        break
+                    # Rows remain but none is eligible right now: another
+                    # runner's live claim, or a backoff window.  Poll — an
+                    # expired lease or due retry becomes claimable here,
+                    # which is how surviving runners adopt a killed peer's
+                    # cells without any restart.
+                    time.sleep(idle_wait)
+                    continue
+                cell = by_id.get(claim.cell)
+                if cell is None:
+                    # Not this spec's cell: the store holds a different (or
+                    # larger) grid.  Hand the claim back and refuse to mix.
+                    self.store.release_claim(claim)
+                    raise StoreCorruptionError(
+                        f"claimed cell {claim.cell!r} is not part of this "
+                        "sweep spec; the store holds a different grid"
+                    )
+                processed += 1
+                try:
+                    # Models a runner dying (or erroring) between claiming
+                    # and executing: the claim is held, no result exists.
+                    try:
+                        fault_point("mid-cell")
+                    except InjectedFault as fault:
+                        raise CellExecutionError(claim.cell, fault) from fault
+                    if self.backend == "process" and pool is None:
+                        pool = WorkerPool(
+                            max_workers=self.max_workers,
+                            start_method=self.start_method,
+                        )
+                    with _HeartbeatPump(
+                        self.store, claim, heartbeat_interval
+                    ) as pump:
+                        results = self._execute_claimed(
+                            cell, caches, pool, cell_timeout
+                        )
+                except CellExecutionError as error:
+                    fate = self.store.fail_claim(claim, str(error))
+                    if fate == "retry":
+                        retried += 1
+                    elif fate == "parked":
+                        parked += 1
+                    else:
+                        lost += 1
+                    if progress is not None:
+                        progress(
+                            f"[{owner}] {claim.cell} attempt {claim.attempt} "
+                            f"FAILED ({fate}): {error}"
+                        )
+                else:
+                    statistics = summarize_runs(results)
+                    committed = self.store.finish_claim(
+                        claim, statistics, **self._result_extras(
+                            cell, caches, results
+                        )
+                    )
+                    if committed:
+                        executed += 1
+                    else:
+                        lost += 1
+                    if progress is not None:
+                        outcome = "done" if committed else (
+                            "lost (lease reclaimed)" if not pump.claim_alive
+                            else "lost"
+                        )
+                        progress(
+                            f"[{owner}] {claim.cell} attempt {claim.attempt} "
+                            f"{outcome} (converged "
+                            f"{statistics.converged}/{statistics.runs})"
+                        )
+        finally:
+            if pool is not None:
+                pool.close()
+        return ClaimReport(
+            owner=owner,
+            total=len(cells),
+            executed=executed,
+            retried=retried,
+            parked=parked,
+            lost=lost,
+            drained=self.store.unresolved_count() == 0,
+            stopped=stopped,
+        )
+
+    def _execute_claimed(
+        self,
+        cell: SweepCell,
+        caches: "_CellCaches",
+        pool: Optional[WorkerPool],
+        timeout: Optional[float],
+    ) -> List[SimulationResult]:
+        """Run a claimed cell, wrapping any failure in the typed cell error.
+
+        The wrapped message renders as ``TypeName: text`` — exactly what the
+        single-process path's ``mark_error`` records — so parked rows stay
+        byte-comparable with a serial sweep's ``error`` rows.
+        """
+        try:
+            return self._run_cell(cell, caches, pool, timeout=timeout)
+        except Exception as error:
+            raise CellExecutionError(cell.cell_id, error) from error
+
+    # ------------------------------------------------------------------
     # One cell
     # ------------------------------------------------------------------
     def _run_cell(
@@ -240,6 +531,7 @@ class SweepRunner:
         cell: SweepCell,
         caches: "_CellCaches",
         pool: Optional[WorkerPool],
+        timeout: Optional[float] = None,
     ) -> List[SimulationResult]:
         protocol = caches.protocol(cell)
         inputs = caches.inputs(cell)
@@ -267,6 +559,7 @@ class SweepRunner:
             chunk_size=self.chunk_size,
             analytics=analytics,
             spec_bytes=caches.spec_bytes(cell, protocol, scheduler),
+            timeout=timeout,
         )
 
     def _result_extras(
@@ -437,6 +730,124 @@ class _CellCaches:
             payload = _dumps_for_workers((protocol, scheduler, cell.engine))
             self._spec_bytes[key] = payload
         return payload
+
+
+def claim_worker(
+    spec_json: str,
+    store_path: str,
+    owner: str,
+    lease_seconds: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    backoff_base: Optional[float] = None,
+    backend: str = "process",
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    start_method: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
+    heartbeat_interval: Optional[float] = None,
+    fault_plan: Optional[str] = None,
+    wait_for_stragglers: bool = True,
+    idle_wait: float = 0.2,
+    max_cells: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ClaimReport:
+    """One complete claim-loop runner: the ``workers`` launcher's unit.
+
+    Designed to be a process entry point (``multiprocessing.Process`` target
+    or a per-host shell invocation): opens its own
+    :class:`~repro.sweep.dbstore.SqliteResultStore` connection on
+    ``store_path``, registers the grid (idempotent and cross-process safe),
+    drains it via :meth:`SweepRunner.run_claims`, and finishes with a store
+    consistency check.
+
+    **SIGTERM drains gracefully**: the first signal sets a stop flag — the
+    cell in flight completes and commits, then the loop exits without
+    claiming further (its report says ``stopped=True``).  Only SIGKILL loses
+    a claim, and that is exactly the case the lease-expiry recovery covers.
+
+    ``fault_plan`` optionally installs a per-runner deterministic fault plan
+    (see :mod:`repro.sweep.faults`) — passed explicitly rather than through
+    the environment so a launcher can aim chaos at one runner of a fleet.
+    """
+    import signal
+
+    from .dbstore import (
+        DEFAULT_BACKOFF_BASE,
+        DEFAULT_LEASE_SECONDS,
+        DEFAULT_MAX_RETRIES,
+        SqliteResultStore,
+    )
+    from .faults import install_fault_plan
+
+    if fault_plan is not None:
+        install_fault_plan(fault_plan)
+
+    stop_event = threading.Event()
+
+    def _drain(signum: int, frame: object) -> None:
+        stop_event.set()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _drain)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        previous = None
+
+    spec = SweepSpec.from_json(spec_json)
+    store = SqliteResultStore(
+        store_path,
+        lease_seconds=(
+            DEFAULT_LEASE_SECONDS if lease_seconds is None else lease_seconds
+        ),
+        max_retries=DEFAULT_MAX_RETRIES if max_retries is None else max_retries,
+        backoff_base=(
+            DEFAULT_BACKOFF_BASE if backoff_base is None else backoff_base
+        ),
+    )
+    try:
+        runner = SweepRunner(
+            spec,
+            store,
+            backend=backend,
+            max_workers=max_workers,
+            chunk_size=chunk_size,
+            start_method=start_method,
+        )
+        report = runner.run_claims(
+            owner,
+            max_cells=max_cells,
+            cell_timeout=cell_timeout,
+            heartbeat_interval=heartbeat_interval,
+            wait_for_stragglers=wait_for_stragglers,
+            idle_wait=idle_wait,
+            stop_event=stop_event,
+            progress=progress,
+        )
+        _verify_claim_consistency(store, owner)
+        return report
+    finally:
+        store.close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _verify_claim_consistency(store: ResultStore, owner: str) -> None:
+    """The runner's exit invariant: it left nothing of its own behind.
+
+    After a drain (graceful or straggler-waited), no row may still be
+    ``running`` under this owner's id — a leftover would mean a claim was
+    neither committed, failed, nor released, i.e. a bookkeeping bug, which
+    must fail the runner loudly rather than leave a row to time out.
+    """
+    leftovers = [
+        row["cell"]
+        for row in store.rows()
+        if row["status"] == "running"
+        and store.bookkeeping(str(row["cell"])).get("owner") == owner
+    ]
+    if leftovers:
+        raise StoreCorruptionError(
+            f"runner {owner!r} exited holding live claims: {leftovers!r}"
+        )
 
 
 def to_experiment_table(

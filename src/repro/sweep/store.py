@@ -51,6 +51,7 @@ __all__ = [
     "MemoryResultStore",
     "ResultStore",
     "StoreCorruptionError",
+    "normalize_error_message",
     "open_store",
 ]
 
@@ -117,7 +118,9 @@ def open_store(path: Union[str, Path]) -> "ResultStore":
     """Open (or create) a file-backed store, picking the format by suffix.
 
     ``.csv`` maps to :class:`CsvResultStore`; ``.jsonl`` / ``.ndjson`` /
-    ``.json`` to :class:`JsonlResultStore`.
+    ``.json`` to :class:`JsonlResultStore`; ``.sqlite`` / ``.sqlite3`` /
+    ``.db`` to the claim-capable
+    :class:`~repro.sweep.dbstore.SqliteResultStore`.
     """
     path = Path(path)
     suffix = path.suffix.lower()
@@ -125,9 +128,14 @@ def open_store(path: Union[str, Path]) -> "ResultStore":
         return CsvResultStore(path)
     if suffix in (".jsonl", ".ndjson", ".json"):
         return JsonlResultStore(path)
+    if suffix in (".sqlite", ".sqlite3", ".db"):
+        # Imported lazily: dbstore subclasses ResultStore from this module.
+        from .dbstore import SqliteResultStore
+
+        return SqliteResultStore(path)
     raise ValueError(
         f"cannot infer a store format from {path.name!r}; "
-        "use a .csv or .jsonl path (or construct a store class directly)"
+        "use a .csv, .jsonl or .sqlite path (or construct a store class directly)"
     )
 
 
@@ -211,38 +219,23 @@ class ResultStore:
         their rendered top-k histogram — both None when the sweep runs
         without analytics extraction.
         """
-        if consensus_quantiles is not None and len(consensus_quantiles) != 3:
-            raise ValueError(
-                "consensus_quantiles must supply exactly (q10, q50, q90), "
-                f"got {len(consensus_quantiles)} values"
-            )
-        row = self._row(cell_id)
-        row["status"] = STATUS_DONE
-        row["error"] = None
-        row["runs"] = int(statistics.runs)
-        row["converged"] = int(statistics.converged)
-        row["convergence_rate"] = float(statistics.convergence_rate)
-        row["mean_steps"] = _optional_float(statistics.mean_steps)
-        row["median_steps"] = _optional_float(statistics.median_steps)
-        row["min_steps"] = _optional_int(statistics.min_steps)
-        row["max_steps"] = _optional_int(statistics.max_steps)
-        row["mean_consensus_step"] = _optional_float(statistics.mean_consensus_step)
-        row["accuracy"] = _optional_float(accuracy)
-        quantiles = consensus_quantiles or (None, None, None)
-        row["consensus_q10"] = _optional_float(quantiles[0])
-        row["consensus_q50"] = _optional_float(quantiles[1])
-        row["consensus_q90"] = _optional_float(quantiles[2])
-        row["top_transitions"] = (
-            None if top_transitions is None else str(top_transitions)
+        self._row(cell_id).update(
+            _done_values(statistics, accuracy, consensus_quantiles, top_transitions)
         )
 
     def mark_error(self, cell_id: str, message: str) -> None:
-        """Record a failed cell (kept for inspection; retried on resume)."""
+        """Record a failed cell (kept for inspection; retried on resume).
+
+        The message is normalized to a single line (see
+        :func:`normalize_error_message`): every store row must stay one
+        physical line so the line-oriented torn-tail recovery and the
+        byte-stable round trip hold for arbitrary exception text.
+        """
         row = self._row(cell_id)
         row["status"] = STATUS_ERROR
         for column in _RESULT_COLUMNS:
             row[column] = None
-        row["error"] = str(message)
+        row["error"] = normalize_error_message(message)
 
     def _row(self, cell_id: str) -> Dict[str, object]:
         row = self._rows.get(cell_id)
@@ -280,6 +273,29 @@ class ResultStore:
 
     def __contains__(self, cell_id: str) -> bool:
         return cell_id in self._rows
+
+    def import_rows(self, rows: Sequence[Mapping[str, object]]) -> None:
+        """Adopt fully-formed rows verbatim, in order (the export bridge).
+
+        ``rows`` must be :data:`COLUMNS`-shaped mappings (as returned by
+        another store's :meth:`rows`); existing rows with the same cell id
+        are replaced.  Used by ``python -m repro.sweep export`` to render a
+        sqlite claim store as a CSV/JSONL table byte-identical to what a
+        single-process sweep of the same spec would have written.
+        """
+        for row in rows:
+            cell_id = row.get("cell")
+            if not cell_id:
+                raise ValueError("imported rows must carry a 'cell' id")
+            status = row.get("status")
+            if status not in _STATUSES:
+                raise ValueError(
+                    f"imported row for {cell_id!r} carries invalid status "
+                    f"{status!r}"
+                )
+            self._rows[str(cell_id)] = {
+                column: row.get(column) for column in COLUMNS
+            }
 
     # ------------------------------------------------------------------
     # Persistence
@@ -352,6 +368,64 @@ def _optional_float(value) -> Optional[float]:
 
 def _optional_int(value) -> Optional[int]:
     return None if value is None else int(value)
+
+
+def normalize_error_message(message: object) -> str:
+    """Collapse an exception message onto one physical line.
+
+    Newlines (any flavour) become the literal two-character sequence
+    ``\\n``.  Two reasons, both regression-tested:
+
+    * ``Path.read_text`` performs universal-newline translation, so a raw
+      ``\\r`` / ``\\r\\n`` inside a CSV field silently mutates into ``\\n``
+      on reload — the store round trip would not be byte-stable, breaking
+      the kill-and-resume byte-identity guarantee for tables holding a
+      multi-line traceback in an ``error`` row;
+    * torn-tail recovery is line-oriented (the final *physical* line of a
+      torn file is dropped); a row spanning several physical lines would
+      make a mid-row tear unrecognizable.
+    """
+    text = str(message).replace("\r\n", "\n").replace("\r", "\n")
+    return text.replace("\n", "\\n")
+
+
+def _done_values(
+    statistics,
+    accuracy: Optional[float] = None,
+    consensus_quantiles: Optional[Sequence[Optional[float]]] = None,
+    top_transitions: Optional[str] = None,
+) -> Dict[str, object]:
+    """The column updates recording a completed cell.
+
+    Shared by :meth:`ResultStore.mark_done` and the claim store's
+    owner-guarded commit (:meth:`~repro.sweep.dbstore.SqliteResultStore.
+    finish_claim`), so every backend persists bit-identical ``done`` rows.
+    """
+    if consensus_quantiles is not None and len(consensus_quantiles) != 3:
+        raise ValueError(
+            "consensus_quantiles must supply exactly (q10, q50, q90), "
+            f"got {len(consensus_quantiles)} values"
+        )
+    quantiles = consensus_quantiles or (None, None, None)
+    return {
+        "status": STATUS_DONE,
+        "error": None,
+        "runs": int(statistics.runs),
+        "converged": int(statistics.converged),
+        "convergence_rate": float(statistics.convergence_rate),
+        "mean_steps": _optional_float(statistics.mean_steps),
+        "median_steps": _optional_float(statistics.median_steps),
+        "min_steps": _optional_int(statistics.min_steps),
+        "max_steps": _optional_int(statistics.max_steps),
+        "mean_consensus_step": _optional_float(statistics.mean_consensus_step),
+        "accuracy": _optional_float(accuracy),
+        "consensus_q10": _optional_float(quantiles[0]),
+        "consensus_q50": _optional_float(quantiles[1]),
+        "consensus_q90": _optional_float(quantiles[2]),
+        "top_transitions": (
+            None if top_transitions is None else str(top_transitions)
+        ),
+    }
 
 
 def _parse_typed(column: str, text: Optional[str], context: str):

@@ -8,7 +8,10 @@ chunk-size edge cases, pickling of protocols and compiled nets across process
 boundaries, and trajectory transport through workers.
 """
 
+import os
 import pickle
+import signal
+import time
 
 import pytest
 
@@ -20,8 +23,11 @@ from repro.simulation import (
     Simulator,
     TransitionScheduler,
     UniformScheduler,
+    WorkerCrashError,
+    WorkerTimeoutError,
     run_ensemble,
 )
+from repro.simulation.batch import WorkerPool
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
@@ -492,3 +498,108 @@ class TestPickling:
             BatchRunner(majority_protocol(), scheduler=Closure(), backend="process")
         # The serial backend never pickles, so the same scheduler is fine there.
         BatchRunner(majority_protocol(), scheduler=Closure(), backend="serial")
+
+
+class _SuicideScheduler(UniformScheduler):
+    """SIGKILLs its own worker process on the first scheduling decision."""
+
+    def choose(self, net, configuration, rng):
+        os.kill(os.getpid(), signal.SIGKILL)
+        return super().choose(net, configuration, rng)
+
+
+class _SleepyScheduler(UniformScheduler):
+    """Stalls every scheduling decision far past any test timeout."""
+
+    def choose(self, net, configuration, rng):
+        time.sleep(60)
+        return super().choose(net, configuration, rng)
+
+
+class TestCrashContainment:
+    """Worker-process death and ensemble timeouts surface as typed errors
+    carrying the failing spec's context, and the pool object survives both:
+    the next ensemble transparently gets fresh worker processes."""
+
+    def test_worker_death_raises_worker_crash_error(self):
+        protocol = majority_protocol()
+        pool = WorkerPool(max_workers=2)
+        try:
+            with pytest.raises(WorkerCrashError) as caught:
+                pool.run_seeds(
+                    protocol, _majority_inputs(12), [1, 2],
+                    scheduler=_SuicideScheduler(), engine="reference",
+                    max_steps=200,
+                )
+            assert caught.value.protocol_name == protocol.name
+            assert caught.value.seeds == (1, 2)
+            assert -signal.SIGKILL in caught.value.exitcodes
+        finally:
+            pool.close()
+
+    def test_ensemble_timeout_raises_worker_timeout_error(self):
+        protocol = majority_protocol()
+        pool = WorkerPool(max_workers=2)
+        try:
+            with pytest.raises(WorkerTimeoutError) as caught:
+                pool.run_seeds(
+                    protocol, _majority_inputs(12), [1, 2],
+                    scheduler=_SleepyScheduler(), engine="reference",
+                    max_steps=200, timeout=0.5,
+                )
+            assert caught.value.protocol_name == protocol.name
+            assert caught.value.seeds == (1, 2)
+            assert caught.value.timeout == 0.5
+        finally:
+            pool.close()
+
+    def test_pool_survives_a_crash_and_stays_bit_identical(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        serial = BatchRunner(protocol, backend="serial").run_seeds(
+            inputs, [5, 6, 7], max_steps=800
+        )
+        pool = WorkerPool(max_workers=2)
+        try:
+            with pytest.raises(WorkerCrashError):
+                pool.run_seeds(
+                    protocol, inputs, [1, 2],
+                    scheduler=_SuicideScheduler(), engine="reference",
+                    max_steps=200,
+                )
+            assert not pool.closed
+            healthy = pool.run_seeds(protocol, inputs, [5, 6, 7], max_steps=800)
+            assert healthy == serial
+        finally:
+            pool.close()
+
+    def test_pool_survives_a_timeout_and_stays_bit_identical(self):
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        serial = BatchRunner(protocol, backend="serial").run_seeds(
+            inputs, [5, 6, 7], max_steps=800
+        )
+        pool = WorkerPool(max_workers=2)
+        try:
+            with pytest.raises(WorkerTimeoutError):
+                pool.run_seeds(
+                    protocol, inputs, [1, 2],
+                    scheduler=_SleepyScheduler(), engine="reference",
+                    max_steps=200, timeout=0.5,
+                )
+            assert not pool.closed
+            healthy = pool.run_seeds(protocol, inputs, [5, 6, 7], max_steps=800)
+            assert healthy == serial
+        finally:
+            pool.close()
+
+    def test_invalid_timeout_is_rejected(self):
+        pool = WorkerPool(max_workers=2)
+        try:
+            with pytest.raises(ValueError, match="timeout must be positive"):
+                pool.run_seeds(
+                    majority_protocol(), _majority_inputs(12), [1],
+                    timeout=0.0,
+                )
+        finally:
+            pool.close()

@@ -28,6 +28,7 @@ from repro.sweep import (
     SweepRunner,
     SweepSpec,
     build_protocol_and_inputs,
+    normalize_error_message,
     open_store,
     register_sweep_protocol,
     to_experiment_table,
@@ -247,6 +248,38 @@ class TestResultStore:
         store = store_class(path)
         with pytest.raises(KeyError):
             store.mark_running("nope")
+
+    def test_multiline_error_messages_survive_the_round_trip(
+        self, store_class, tmp_path
+    ):
+        # A real traceback: newlines (all three flavors), commas, and
+        # quotes — everything that can tear a CSV row or desync a reload.
+        traceback_text = (
+            'Traceback (most recent call last):\r\n'
+            '  File "sim.py", line 3, in run\r'
+            '    raise ValueError("bad input, truly")\n'
+            'ValueError: bad input, truly'
+        )
+        path = tmp_path / ("store" + (".csv" if store_class is CsvResultStore else ".jsonl"))
+        store = store_class(path)
+        spec = _small_spec()
+        cells = spec.cells()[:2]
+        for cell in cells:
+            store.ensure(cell.cell_id, cell.keyfields(), spec.cell_seed(cell))
+        store.mark_error(cells[0].cell_id, traceback_text)
+        store.flush()
+        expected = normalize_error_message(traceback_text)
+        assert "\n" not in expected and "\r" not in expected
+        reloaded = store_class(path)
+        # One physical line per row: the reload sees both rows intact and
+        # the normalized message verbatim.
+        assert len(reloaded) == 2
+        assert reloaded.get(cells[0].cell_id)["error"] == expected
+        assert reloaded.status(cells[1].cell_id) == "created"
+        # And the reload re-flushes byte-identically.
+        first = path.read_bytes()
+        reloaded.flush()
+        assert path.read_bytes() == first
 
 
 class TestOpenStore:
