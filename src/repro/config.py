@@ -39,6 +39,24 @@ The recognized variables:
     never the simulations themselves, so an installed plan cannot change any
     computed result — only whether (and when) it gets committed.
 
+``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT``
+    Bind address of the ``python -m repro.serve`` job server (defaults
+    ``127.0.0.1:8765``; port ``0`` asks the OS for an ephemeral port).  Read
+    through :func:`serve_host` / :func:`serve_port`.
+
+``REPRO_SERVE_CACHE_SIZE``
+    Capacity of the serve layer's content-addressed LRU result cache, in
+    completed-job payloads (default 256, minimum 1).  Read through
+    :func:`serve_cache_size`.
+
+``REPRO_SERVE_MAX_INFLIGHT``
+    Per-client in-flight job cap before the server answers 429 (default 8,
+    minimum 1).  Read through :func:`serve_max_inflight`.
+
+All integer knobs share one discipline (:func:`_positive_int_env`): malformed
+or out-of-range values raise a :class:`ValueError` naming the variable —
+configuration is never silently repaired.
+
 All helpers read the environment on every call (no caching), so tests can
 monkeypatch ``os.environ`` and worker processes inherit whatever the parent
 exported at spawn time — the behavior the CI jobs pin.
@@ -52,12 +70,24 @@ from typing import Optional, Sequence, Set, Tuple
 
 __all__ = [
     "BATCH_WORKERS_ENV",
+    "DEFAULT_SERVE_CACHE_SIZE",
+    "DEFAULT_SERVE_HOST",
+    "DEFAULT_SERVE_MAX_INFLIGHT",
+    "DEFAULT_SERVE_PORT",
     "FAULT_PLAN_ENV",
     "FORCE_ENGINE_ENV",
+    "SERVE_CACHE_SIZE_ENV",
+    "SERVE_HOST_ENV",
+    "SERVE_MAX_INFLIGHT_ENV",
+    "SERVE_PORT_ENV",
     "default_batch_workers",
     "fault_plan_text",
     "forced_engine",
     "notice_explicit_engine",
+    "serve_cache_size",
+    "serve_host",
+    "serve_max_inflight",
+    "serve_port",
 ]
 
 #: Environment override consulted by ``engine="auto"`` only (see
@@ -71,6 +101,19 @@ BATCH_WORKERS_ENV = "REPRO_BATCH_DEFAULT_WORKERS"
 #: Environment carrier for the deterministic fault-injection plan of the
 #: distributed-sweep chaos harness (parsed by :mod:`repro.sweep.faults`).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: ``repro.serve`` bind host / bind port / result-cache capacity / per-client
+#: in-flight cap (see :func:`serve_host` and friends).
+SERVE_HOST_ENV = "REPRO_SERVE_HOST"
+SERVE_PORT_ENV = "REPRO_SERVE_PORT"
+SERVE_CACHE_SIZE_ENV = "REPRO_SERVE_CACHE_SIZE"
+SERVE_MAX_INFLIGHT_ENV = "REPRO_SERVE_MAX_INFLIGHT"
+
+#: Defaults for the serve knobs when the variables are unset.
+DEFAULT_SERVE_HOST = "127.0.0.1"
+DEFAULT_SERVE_PORT = 8765
+DEFAULT_SERVE_CACHE_SIZE = 256
+DEFAULT_SERVE_MAX_INFLIGHT = 8
 
 
 def fault_plan_text() -> str:
@@ -143,20 +186,71 @@ def notice_explicit_engine(engine: str, valid: Sequence[str]) -> None:
     )
 
 
+def _positive_int_env(name: str, default: int, minimum: int = 1) -> int:
+    """Read an integer knob, failing loudly on malformed or out-of-range values.
+
+    The fail-loudly convention of :func:`forced_engine` applied to numeric
+    knobs: a typo'd CI export must abort, never be silently "repaired" into a
+    value the operator did not ask for.
+    """
+    override = os.environ.get(name)
+    if not override:
+        return default
+    try:
+        value = int(override)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {override!r}"
+        ) from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {override!r}")
+    return value
+
+
 def default_batch_workers() -> int:
     """The default batch worker count: the environment override, else the CPU
     count (at least 1).
 
     A non-integer ``REPRO_BATCH_DEFAULT_WORKERS`` raises a :class:`ValueError`
-    naming the variable; values below 1 are clamped to 1.
+    naming the variable, and so do values below 1 — a zero or negative worker
+    count is always a configuration mistake, and clamping it to 1 (the old
+    behavior) hid exactly the kind of silent environmental repair this module
+    exists to prevent.
     """
-    override = os.environ.get(BATCH_WORKERS_ENV)
+    override = _positive_int_env(BATCH_WORKERS_ENV, 0)
     if override:
-        try:
-            return max(1, int(override))
-        except ValueError:
-            raise ValueError(
-                f"{BATCH_WORKERS_ENV} must be an integer worker count, "
-                f"got {override!r}"
-            ) from None
+        return override
     return os.cpu_count() or 1
+
+
+def serve_host() -> str:
+    """The ``repro.serve`` bind host (``REPRO_SERVE_HOST``, default loopback)."""
+    return os.environ.get(SERVE_HOST_ENV, "").strip() or DEFAULT_SERVE_HOST
+
+
+def serve_port() -> int:
+    """The ``repro.serve`` bind port (``REPRO_SERVE_PORT``).
+
+    ``0`` is valid and means "let the OS pick an ephemeral port" (the smoke
+    scripts use it to avoid collisions); anything non-integer or negative
+    raises a :class:`ValueError` naming the variable.
+    """
+    return _positive_int_env(SERVE_PORT_ENV, DEFAULT_SERVE_PORT, minimum=0)
+
+
+def serve_cache_size() -> int:
+    """The ``repro.serve`` result-cache capacity (``REPRO_SERVE_CACHE_SIZE``).
+
+    Completed job payloads retained for content-addressed cache hits, evicted
+    least-recently-used beyond this many entries.  Must be at least 1.
+    """
+    return _positive_int_env(SERVE_CACHE_SIZE_ENV, DEFAULT_SERVE_CACHE_SIZE)
+
+
+def serve_max_inflight() -> int:
+    """The ``repro.serve`` per-client in-flight cap (``REPRO_SERVE_MAX_INFLIGHT``).
+
+    How many uncompleted jobs one client may have queued or running before
+    new submissions are rejected with HTTP 429.  Must be at least 1.
+    """
+    return _positive_int_env(SERVE_MAX_INFLIGHT_ENV, DEFAULT_SERVE_MAX_INFLIGHT)

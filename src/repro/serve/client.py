@@ -1,0 +1,158 @@
+"""A tiny stdlib client for the :mod:`repro.serve` job server.
+
+``urllib.request`` only — scripting a served simulation needs nothing more
+than submit / poll / wait:
+
+.. code-block:: python
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8765")
+    result = client.run({"protocol": "majority", "population": 60})
+    print(result["statistics"]["convergence_rate"])
+
+Error mapping is deliberately typed: 4xx/5xx answers raise
+:class:`ServeError` carrying the HTTP status and decoded payload, with the
+retryable rejections (429 backpressure, 503 draining) narrowed to
+:class:`ServeRejected` so callers can back off without string-matching.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["JobFailedError", "ServeClient", "ServeError", "ServeRejected"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure from the job server."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, Mapping) else payload
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeRejected(ServeError):
+    """A retryable rejection: 429 (over the in-flight cap) or 503 (draining)."""
+
+
+class JobFailedError(RuntimeError):
+    """The server executed the job and it errored (status ``error``)."""
+
+
+class ServeClient:
+    """Submit, poll, and await jobs against one server base URL.
+
+    ``client_id`` names this client to the server's per-client in-flight
+    cap (the ``X-Client-Id`` header); unset, the server buckets by peer
+    address.  ``timeout`` bounds each HTTP request, not a whole job — use
+    the ``timeout`` argument of :meth:`wait` / :meth:`run` for that.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Any:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                raw = response.read()
+                kind = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = raw.decode("utf-8", "replace")
+            if error.code in (429, 503):
+                raise ServeRejected(error.code, payload) from None
+            raise ServeError(error.code, payload) from None
+        if kind.startswith("application/json"):
+            return json.loads(raw.decode("utf-8"))
+        return raw.decode("utf-8")
+
+    # ------------------------------------------------------------------
+    # The API
+    # ------------------------------------------------------------------
+    def submit(self, job: Mapping[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``: returns the submission response (see server docs).
+
+        A content-cache hit comes back with ``"cached": True`` and the full
+        ``"result"`` inline; otherwise the response carries the job key to
+        poll.
+        """
+        body = json.dumps(dict(job)).encode("utf-8")
+        return self._request("POST", "/jobs", body)
+
+    def status(self, key: str) -> Dict[str, Any]:
+        """``GET /jobs/<key>``: the job's current status document."""
+        return self._request("GET", f"/jobs/{key}")
+
+    def wait(
+        self, key: str, timeout: float = 300.0, poll_interval: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll until the job completes; return its result payload.
+
+        Raises :class:`JobFailedError` if the server reports the job
+        errored, and :class:`TimeoutError` after ``timeout`` seconds
+        (monotonic — a client-side budget, never a simulation input).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.status(key)
+            state = document.get("status")
+            if state == "done":
+                return document["result"]
+            if state == "error":
+                raise JobFailedError(document.get("error", "job failed"))
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {key} still {state!r} after {timeout:.1f}s"
+                )
+            time.sleep(poll_interval)
+
+    def run(
+        self, job: Mapping[str, Any], timeout: float = 300.0
+    ) -> Dict[str, Any]:
+        """Submit and wait in one call; returns the result payload."""
+        response = self.submit(job)
+        if response.get("cached"):
+            return response["result"]
+        return self.wait(response["job"], timeout=timeout)
+
+    def metrics(self) -> Dict[str, float]:
+        """``GET /metrics`` parsed into a ``{name: value}`` mapping."""
+        text = self._request("GET", "/metrics")
+        parsed: Dict[str, float] = {}
+        for line in text.splitlines():
+            name, _, value = line.partition(" ")
+            if name and value:
+                parsed[name] = float(value)
+        return parsed
+
+    def health(self) -> str:
+        """``GET /healthz``: ``"ok"`` or ``"draining"``."""
+        return self._request("GET", "/healthz").strip()

@@ -1,0 +1,563 @@
+"""The :mod:`repro.serve` asyncio HTTP job server.
+
+One long-lived process, one shared :class:`~repro.simulation.batch.WorkerPool`,
+many clients.  The event loop owns *all* server state (submission handling,
+the queue, the cache, metrics); only the blocking ensemble execution leaves
+the loop, dispatched to a small thread executor whose threads serialize on
+the pool's dispatch lock — the thread-safety contract the pool now documents.
+
+The moving parts:
+
+* **Content-addressed cache.**  Jobs are keyed by
+  :attr:`~repro.serve.jobs.JobSpec.key` (SHA-256 of the canonical cell
+  identity plus run policy).  A completed payload lands in a bounded LRU
+  (:data:`~repro.config.DEFAULT_SERVE_CACHE_SIZE` entries); a resubmission
+  of the same key is answered from cache with zero pool work.  Submissions
+  of a key that is *currently* queued or running coalesce onto the existing
+  job — the duplicate does not enqueue twice.
+* **Backpressure.**  Each client (the ``X-Client-Id`` header, else the peer
+  address) may have at most ``max_inflight`` uncompleted jobs attached; the
+  next submission is rejected with HTTP 429 and a ``Retry-After`` hint,
+  protecting the pool from any single client's burst.
+* **Graceful drain.**  SIGTERM/SIGINT (wired by ``python -m repro.serve``)
+  calls :meth:`SimulationServer.request_drain`: new submissions are refused
+  with 503, queued and running jobs complete and land in the cache, status
+  polls keep working throughout, and the process then exits 0 — the same
+  finish-what-you-hold semantics as the sweep layer's ``claim_worker``.
+
+Endpoints (HTTP/1.1, ``Connection: close``):
+
+========================  ====================================================
+``POST /jobs``            submit a JSON job spec; 200 with the result on a
+                          cache hit, 202 with the job key otherwise, 400 on
+                          validation errors, 429 over the in-flight cap,
+                          503 while draining
+``GET /jobs/<key>``       poll: ``queued`` / ``running`` / ``done`` (with
+                          result) / ``error`` (with message), 404 unknown
+``GET /metrics``          plain-text counters (jobs, cache, queue, pool)
+``GET /healthz``          ``ok`` (or ``draining``)
+========================  ====================================================
+
+:class:`BackgroundServer` wraps the whole lifecycle in a daemon thread with
+an ephemeral port for tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Deque, Dict, Optional, Set, Tuple
+
+from .. import config
+from ..simulation.batch import WorkerPool
+from .jobs import JobExecutor, JobSpec
+
+__all__ = ["BackgroundServer", "ServeMetrics", "SimulationServer"]
+
+#: Submission bodies larger than this are refused outright (413) — a job
+#: spec is a handful of scalars; anything bigger is a client bug.
+_MAX_BODY_BYTES = 1 << 20
+
+#: Per-read timeout while parsing a request (seconds); keeps a stalled
+#: client from pinning a connection handler forever.
+_READ_TIMEOUT = 10.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServeMetrics:
+    """Counters for ``GET /metrics`` (mutated only on the event loop)."""
+
+    def __init__(self) -> None:
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_coalesced = 0
+        self.rejected_backpressure = 0
+        self.rejected_draining = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class _Job:
+    """One active (queued or running) job and the clients attached to it."""
+
+    __slots__ = ("spec", "key", "status", "clients")
+
+    def __init__(self, spec: JobSpec, clients: Set[str]) -> None:
+        self.spec = spec
+        self.key = spec.key
+        self.status = "queued"
+        self.clients = clients
+
+
+class SimulationServer:
+    """The job server: HTTP front, queue, cache, and one shared pool.
+
+    Parameters default to the ``REPRO_SERVE_*`` knobs in :mod:`repro.config`
+    (the sanctioned environment funnel).  ``backend="serial"`` skips the
+    worker pool and runs ensembles on cached in-process simulators — the
+    fast path for tests; ``backend="process"`` (the default) fronts a
+    :class:`~repro.simulation.batch.WorkerPool` of ``max_workers``
+    processes.  ``concurrency`` is how many jobs may execute at once (the
+    consumer-task count; pool dispatch still serializes ensembles, so this
+    mainly overlaps Python-side build/render work with simulation).
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        backend: str = "process",
+        max_workers: Optional[int] = None,
+        cache_size: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        concurrency: int = 2,
+        start_method: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+    ) -> None:
+        if backend not in ("serial", "process"):
+            raise ValueError(
+                f"backend must be 'serial' or 'process', got {backend!r}"
+            )
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be at least 1, got {concurrency}")
+        self.host = host if host is not None else config.serve_host()
+        self.requested_port = port if port is not None else config.serve_port()
+        self.backend = backend
+        self.max_workers = max_workers
+        self.cache_size = (
+            cache_size if cache_size is not None else config.serve_cache_size()
+        )
+        if self.cache_size < 1:
+            raise ValueError(
+                f"cache_size must be at least 1, got {self.cache_size}"
+            )
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else config.serve_max_inflight()
+        )
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be at least 1, got {self.max_inflight}"
+            )
+        self.concurrency = concurrency
+        self.start_method = start_method
+        self.job_timeout = job_timeout
+
+        self.port: Optional[int] = None
+        self.metrics = ServeMetrics()
+        self._pool: Optional[WorkerPool] = None
+        self._job_executor: Optional[JobExecutor] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._consumers: list = []
+        self._work_available: Optional[asyncio.Event] = None
+        self._pending: Deque[_Job] = collections.deque()
+        self._active: Dict[str, _Job] = {}
+        self._running = 0
+        self._cache: "collections.OrderedDict[str, Dict[str, Any]]" = (
+            collections.OrderedDict()
+        )
+        self._failed: "collections.OrderedDict[str, str]" = collections.OrderedDict()
+        self._clients: Dict[str, Set[str]] = {}
+        self._draining = False
+        self._started_monotonic: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener, build the pool, and start the consumers."""
+        if self._http_server is not None:
+            raise RuntimeError("server already started")
+        loop = asyncio.get_running_loop()
+        self._work_available = asyncio.Event()
+        if self.backend == "process":
+            self._pool = WorkerPool(
+                max_workers=self.max_workers, start_method=self.start_method
+            )
+        self._job_executor = JobExecutor(pool=self._pool, timeout=self.job_timeout)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.concurrency, thread_name_prefix="repro-serve-job"
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.requested_port
+        )
+        sockets = self._http_server.sockets or []
+        self.port = sockets[0].getsockname()[1] if sockets else self.requested_port
+        self._started_monotonic = time.monotonic()
+        self._consumers = [
+            loop.create_task(self._consume()) for _ in range(self.concurrency)
+        ]
+
+    def request_drain(self) -> None:
+        """Stop accepting jobs; finish queued and running ones, then stop.
+
+        Idempotent, callable from the event loop (signal handlers) or via
+        ``call_soon_threadsafe`` from other threads.  Status polls,
+        ``/metrics`` and ``/healthz`` keep answering until the last consumer
+        finishes.
+        """
+        self._draining = True
+        if self._work_available is not None:
+            self._work_available.set()
+
+    async def wait_drained(self) -> None:
+        """Block until every consumer has exited (drain requested + queue dry)."""
+        if self._consumers:
+            await asyncio.gather(*self._consumers)
+
+    async def shutdown(self) -> None:
+        """Close the listener, the executor, and the pool (after drain)."""
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    async def serve(self) -> None:
+        """The full lifecycle: start, run until drained, shut down."""
+        await self.start()
+        await self.wait_drained()
+        await self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    async def _consume(self) -> None:
+        loop = asyncio.get_running_loop()
+        assert self._work_available is not None
+        while True:
+            if self._pending:
+                job = self._pending.popleft()
+                await self._process(loop, job)
+                continue
+            if self._draining:
+                return
+            # No await between clear() and wait(): submissions (which append
+            # then set) run on this same loop, so the re-check cannot race.
+            self._work_available.clear()
+            await self._work_available.wait()
+
+    async def _process(self, loop: asyncio.AbstractEventLoop, job: _Job) -> None:
+        job.status = "running"
+        self._running += 1
+        assert self._job_executor is not None
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, self._job_executor.run, job.spec
+            )
+        except Exception as error:
+            self._failed[job.key] = f"{type(error).__name__}: {error}"
+            while len(self._failed) > self.cache_size:
+                self._failed.popitem(last=False)
+            job.status = "error"
+            self.metrics.jobs_failed += 1
+        else:
+            self._cache[job.key] = payload
+            self._cache.move_to_end(job.key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+            job.status = "done"
+            self.metrics.jobs_completed += 1
+        finally:
+            self._running -= 1
+            self._active.pop(job.key, None)
+            for client in job.clients:
+                held = self._clients.get(client)
+                if held is not None:
+                    held.discard(job.key)
+                    if not held:
+                        self._clients.pop(client, None)
+
+    # ------------------------------------------------------------------
+    # Request handling (sync core, exercised directly by the unit tests)
+    # ------------------------------------------------------------------
+    def _submit(
+        self, payload: Any, client: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        if self._draining:
+            self.metrics.rejected_draining += 1
+            return 503, {"error": "server is draining; not accepting new jobs"}
+        try:
+            spec = JobSpec.from_dict(payload)
+        except (ValueError, TypeError) as error:
+            return 400, {"error": str(error)}
+        key = spec.key
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.metrics.jobs_submitted += 1
+            self.metrics.cache_hits += 1
+            return 200, {
+                "job": key,
+                "status": "done",
+                "cached": True,
+                "result": cached,
+            }
+        self.metrics.cache_misses += 1
+        held = self._clients.setdefault(client, set())
+        active = self._active.get(key)
+        if key not in held and len(held) >= self.max_inflight:
+            if not held:
+                self._clients.pop(client, None)
+            self.metrics.rejected_backpressure += 1
+            return 429, {
+                "error": (
+                    f"client {client!r} already has {len(held)} jobs in "
+                    f"flight (cap {self.max_inflight}); retry after one "
+                    "completes"
+                ),
+                "retry_after": 1.0,
+            }
+        self.metrics.jobs_submitted += 1
+        if active is not None:
+            # Same content key already queued or running: coalesce instead
+            # of computing the ensemble twice.
+            active.clients.add(client)
+            held.add(key)
+            self.metrics.jobs_coalesced += 1
+            return 202, {
+                "job": key,
+                "status": active.status,
+                "cached": False,
+                "coalesced": True,
+            }
+        job = _Job(spec, {client})
+        held.add(key)
+        self._active[key] = job
+        self._pending.append(job)
+        if self._work_available is not None:
+            self._work_available.set()
+        return 202, {"job": key, "status": "queued", "cached": False}
+
+    def _job_status(self, key: str) -> Tuple[int, Dict[str, Any]]:
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return 200, {"job": key, "status": "done", "result": cached}
+        active = self._active.get(key)
+        if active is not None:
+            return 200, {"job": key, "status": active.status}
+        error = self._failed.get(key)
+        if error is not None:
+            return 200, {"job": key, "status": "error", "error": error}
+        return 404, {"error": f"unknown job {key!r}"}
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` payload: ``repro_serve_<name> <value>`` lines."""
+        counters = self.metrics.as_dict()
+        uptime = (
+            time.monotonic() - self._started_monotonic
+            if self._started_monotonic is not None
+            else 0.0
+        )
+        gauges = {
+            "uptime_seconds": round(uptime, 3),
+            "queue_depth": len(self._pending),
+            "jobs_inflight": self._running,
+            "pool_utilization": round(self._running / self.concurrency, 3),
+            "pool_workers": (
+                self._pool.workers if self._pool is not None else 0
+            ),
+            "cache_entries": len(self._cache),
+            "cache_capacity": self.cache_size,
+            "clients_tracked": len(self._clients),
+            "draining": int(self._draining),
+        }
+        lines = [
+            f"repro_serve_{name} {value}"
+            for name, value in {**counters, **gauges}.items()
+        ]
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _route(
+        self, method: str, target: str, client: str, body: bytes
+    ) -> Tuple[int, Any, str]:
+        """Dispatch one parsed request to (status, payload, content type)."""
+        if target == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}, "application/json"
+            text = "draining\n" if self._draining else "ok\n"
+            return 200, text, "text/plain; charset=utf-8"
+        if target == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}, "application/json"
+            return 200, self.metrics_text(), "text/plain; charset=utf-8"
+        if target == "/jobs":
+            if method != "POST":
+                return 405, {"error": "submit jobs with POST /jobs"}, "application/json"
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return 400, {"error": f"request body is not JSON: {error}"}, "application/json"
+            status, response = self._submit(payload, client)
+            return status, response, "application/json"
+        if target.startswith("/jobs/"):
+            if method != "GET":
+                return 405, {"error": "poll jobs with GET /jobs/<key>"}, "application/json"
+            status, response = self._job_status(target[len("/jobs/"):])
+            return status, response, "application/json"
+        return 404, {"error": f"no such endpoint: {method} {target}"}, "application/json"
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload, content_type = await self._read_and_route(
+                reader, writer
+            )
+            await self._write_response(writer, status, payload, content_type)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _read_and_route(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Tuple[int, Any, str]:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=_READ_TIMEOUT
+        )
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}, "application/json"
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=_READ_TIMEOUT)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        if not length_text.isdigit():
+            return 400, {"error": "invalid Content-Length"}, "application/json"
+        length = int(length_text)
+        if length > _MAX_BODY_BYTES:
+            return 413, {"error": "job spec too large"}, "application/json"
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=_READ_TIMEOUT
+            )
+        peer = writer.get_extra_info("peername")
+        client = headers.get("x-client-id") or (
+            str(peer[0]) if isinstance(peer, tuple) and peer else "unknown"
+        )
+        return self._route(method, target, client, body)
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        content_type: str,
+    ) -> None:
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+        else:
+            data = json.dumps(payload).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(data)}",
+            "Connection: close",
+        ]
+        if status in (429, 503):
+            head.append("Retry-After: 1")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + data)
+        await writer.drain()
+
+
+class BackgroundServer:
+    """A :class:`SimulationServer` running in a daemon thread (tests, demos).
+
+    Context-manager shaped: ``__enter__`` starts the loop thread, waits for
+    the listener to bind (port 0 → ephemeral) and returns the handle with
+    :attr:`url` set; ``__exit__`` requests a drain and joins the thread.
+    """
+
+    def __init__(self, **server_kwargs: Any) -> None:
+        server_kwargs.setdefault("port", 0)
+        self.server = SimulationServer(**server_kwargs)
+        self.url: Optional[str] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=60.0):
+            raise RuntimeError("serve thread failed to start within 60s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"serve thread failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, exc_type: Any, exc_value: Any, traceback: Any) -> None:
+        self.drain()
+        if self._thread is not None:
+            self._thread.join(timeout=120.0)
+
+    def drain(self) -> None:
+        """Request a graceful drain from any thread."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self.server.request_drain)
+            except RuntimeError:
+                pass  # loop already stopped: drain is moot
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # pragma: no cover - startup failures
+            self._startup_error = error
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self.url = f"http://{self.server.host}:{self.server.port}"
+        self._started.set()
+        await self.server.wait_drained()
+        await self.server.shutdown()

@@ -51,6 +51,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import random
+import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -310,6 +311,26 @@ class WorkerPool:
     The worker processes are created lazily, on the first :meth:`run_seeds`;
     release them with :meth:`close` or a ``with`` block.  A closed pool
     raises :class:`RuntimeError` on further use.
+
+    **Thread safety.**  The pool is safe for concurrent callers (the
+    ``repro.serve`` job server dispatches blocking :meth:`run_seeds` calls
+    from several executor threads at once).  Two locks, always acquired in
+    the order *dispatch → lifecycle*:
+
+    * a *dispatch* lock serializes whole ensembles — concurrent
+      :meth:`run_seeds` calls queue rather than interleave ``map_async``
+      dispatches (interleaving was the original race: one caller's crash
+      recovery could tear down the pool while another caller's map was in
+      flight on it),
+    * a *lifecycle* lock serializes pool creation and teardown
+      (:meth:`_ensure_pool` / :meth:`_abandon_pool` / :meth:`close` /
+      :meth:`terminate`), so a lazily-building caller can never observe a
+      half-built or half-torn-down ``multiprocessing`` pool.
+
+    :meth:`close` takes the dispatch lock first and therefore *waits* for an
+    in-flight ensemble to finish (a graceful drain); :meth:`terminate`
+    deliberately does not — it is the kill switch and only takes the
+    lifecycle lock.
     """
 
     def __init__(
@@ -327,6 +348,9 @@ class WorkerPool:
         self._warm_spec_bytes = warm_spec_bytes
         self._pool = None
         self._closed = False
+        # Lock order: dispatch before lifecycle (see the class docstring).
+        self._dispatch_lock = threading.Lock()
+        self._lifecycle_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -343,30 +367,39 @@ class WorkerPool:
             )
 
     def _ensure_pool(self) -> Any:
-        if self._pool is None:
-            context = multiprocessing.get_context(self.start_method)
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_initialize_worker,
-                initargs=(self._warm_spec_bytes,),
-            )
-        return self._pool
+        with self._lifecycle_lock:
+            if self._pool is None:
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = context.Pool(
+                    processes=self.workers,
+                    initializer=_initialize_worker,
+                    initargs=(self._warm_spec_bytes,),
+                )
+            return self._pool
 
     def close(self) -> None:
-        """Shut down the worker processes and mark the pool spent (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-        self._closed = True
+        """Shut down the worker processes and mark the pool spent (idempotent).
+
+        Waits for an in-flight ensemble (the dispatch lock) before tearing
+        down — a concurrent :meth:`run_seeds` completes normally rather than
+        losing its workers mid-map.
+        """
+        with self._dispatch_lock:
+            with self._lifecycle_lock:
+                if self._pool is not None:
+                    self._pool.close()
+                    self._pool.join()
+                    self._pool = None
+                self._closed = True
 
     def terminate(self) -> None:
         """Kill the worker processes without waiting for in-flight tasks."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._closed = True
+        with self._lifecycle_lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+            self._closed = True
 
     def _abandon_pool(self) -> None:
         """Tear down a compromised pool but keep this :class:`WorkerPool` open.
@@ -377,7 +410,8 @@ class WorkerPool:
         a fresh one — the containment contract the sweep claim loop relies
         on, where one crashed cell must not spend the runner's pool.
         """
-        pool, self._pool = self._pool, None
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             try:
                 pool.terminate()
@@ -439,6 +473,10 @@ class WorkerPool:
         :class:`WorkerCrashError` instead of blocking forever.  After either
         error the :class:`WorkerPool` remains usable — the next call builds
         fresh worker processes.
+
+        Safe to call from multiple threads: concurrent ensembles queue on
+        the pool's dispatch lock and execute one after another (see the
+        class docstring), each bit-identical to its own serial run.
         """
         self._check_open()
         if chunk_size is not None and chunk_size < 1:
@@ -468,9 +506,13 @@ class WorkerPool:
             spec_bytes, configuration, chunks, max_steps, stability_window,
             record_trajectory, trajectory_capacity, analytics,
         )
-        chunk_results = self._await_map(
-            tasks, timeout, protocol.name or "protocol", seeds
-        )
+        with self._dispatch_lock:
+            # Re-check under the lock: a close() that won the lock first has
+            # already drained and spent the pool.
+            self._check_open()
+            chunk_results = self._await_map(
+                tasks, timeout, protocol.name or "protocol", seeds
+            )
         return [result for chunk in chunk_results for result in chunk]
 
     def _await_map(

@@ -57,6 +57,8 @@ from .spec import (
     available_sweep_protocols,
     build_predicate_for,
     build_protocol_and_inputs,
+    canonical_params,
+    derive_cell_seed,
     register_sweep_protocol,
 )
 from .store import (
@@ -91,6 +93,8 @@ __all__ = [
     "available_sweep_protocols",
     "build_predicate_for",
     "build_protocol_and_inputs",
+    "canonical_params",
+    "derive_cell_seed",
     "register_sweep_protocol",
     "to_experiment_table",
     "ResultStore",

@@ -101,6 +101,36 @@ def _wall_clock() -> float:
     return time.time()  # qa: allow[DET102] -- lease bookkeeping, not a simulation input
 
 
+class _MonotonicFloor:
+    """A clock wrapper that never runs backwards (per store, thread-safe).
+
+    Lease and backoff arithmetic assumes timestamps only grow; a backwards
+    wall-clock step (NTP correction, VM resume) read raw would instantly
+    "expire" every live lease — two workers then hold the same cell — or
+    push ``next_attempt`` into the apparent future, stalling retries.  The
+    fix is the classic monotonic floor: remember the largest value ever
+    returned and clamp every read to ``max(floor, raw())``.  Time simply
+    stands still until the wall clock catches back up, which is exactly the
+    conservative behavior leases want (they err toward *not yet expired*).
+
+    Wraps injected test clocks too, so the regression tests drive a fake
+    clock backwards and observe the clamp.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self._floor = float("-inf")
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            now = float(self._clock())
+            if now < self._floor:
+                return self._floor
+            self._floor = now
+            return now
+
+
 def _column_type(column: str) -> str:
     if column in _TEXT_INT_COLUMNS:
         return "TEXT"
@@ -162,7 +192,10 @@ class SqliteResultStore(ResultStore):
         up (surfaced as ``sqlite3.OperationalError: database is locked``).
     clock:
         The wall-clock source for leases and backoff.  Tests inject a fake;
-        production uses :func:`time.time` via the module helper.
+        production uses :func:`time.time` via the module helper.  Either
+        way the store clamps reads with a per-store monotonic floor
+        (:class:`_MonotonicFloor`): a backwards wall-clock step can never
+        expire a live lease or stall backoff arithmetic.
     """
 
     def __init__(
@@ -190,7 +223,11 @@ class SqliteResultStore(ResultStore):
         self.lease_seconds = float(lease_seconds)
         self.max_retries = int(max_retries)
         self.backoff_base = float(backoff_base)
-        self._clock = clock if clock is not None else _wall_clock
+        # The clamp wraps *any* clock source, injected fakes included: a
+        # backwards step is absorbed per store (see _MonotonicFloor).
+        self._clock: Callable[[], float] = _MonotonicFloor(
+            clock if clock is not None else _wall_clock
+        )
         # One connection, shared across the claim loop and the heartbeat
         # thread; the lock serializes them (sqlite connections are not
         # thread-safe, and cross-*process* safety comes from sqlite itself).

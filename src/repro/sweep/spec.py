@@ -68,6 +68,8 @@ __all__ = [
     "build_inputs_for",
     "build_predicate_for",
     "build_protocol_and_inputs",
+    "canonical_params",
+    "derive_cell_seed",
     "register_sweep_protocol",
 ]
 
@@ -278,9 +280,35 @@ _register_builtin(
 )
 
 
-def _canonical_params(params: Mapping[str, object]) -> str:
-    """The canonical JSON rendering of a parameter mapping (the cell key)."""
+def canonical_params(params: Mapping[str, object]) -> str:
+    """The canonical JSON rendering of a parameter mapping (the cell key).
+
+    Sorted keys, no whitespace — byte-stable across processes and Python
+    versions, so it is safe to hash.  Shared by the sweep cell identity and
+    the ``repro.serve`` content-addressed job cache; any consumer that wants
+    "same parameters → same key" must render through this function rather
+    than ``str(dict)``.
+    """
     return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+#: Backwards-compatible private alias (pre-serve callers).
+_canonical_params = canonical_params
+
+
+def derive_cell_seed(master_seed: int, scope: str) -> int:
+    """The canonical 64-bit seed for an identity scope: ``sha256(master_seed | scope)``.
+
+    This is *the* seed-derivation discipline of the project: the sweep layer
+    feeds it a cell's :attr:`SweepCell.seed_scope`, and the serve layer feeds
+    it the identical scope for a submitted job, so a served ensemble and the
+    equivalent sweep cell draw exactly the same repetition seeds.  Position
+    independence (hash of identity, not position in a stream) is what makes
+    content-addressed caching sound: the seed depends only on what is being
+    simulated, never on when or where.
+    """
+    digest = hashlib.sha256(f"{master_seed}|{scope}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def _integral(name: str, value: object) -> int:
@@ -542,11 +570,9 @@ class SweepSpec:
         engine keyfield (see :attr:`SweepCell.seed_scope`): engine rows of
         one grid point re-run the same ensemble, and must therefore report
         identical statistics — a built-in cross-engine agreement check.
+        Delegates to :func:`derive_cell_seed` (shared with ``repro.serve``).
         """
-        digest = hashlib.sha256(
-            f"{self.master_seed}|{cell.seed_scope}".encode("utf-8")
-        ).digest()
-        return int.from_bytes(digest[:8], "big")
+        return derive_cell_seed(self.master_seed, cell.seed_scope)
 
     # ------------------------------------------------------------------
     # Serialization

@@ -11,6 +11,7 @@ boundaries, and trajectory transport through workers.
 import os
 import pickle
 import signal
+import threading
 import time
 
 import pytest
@@ -233,6 +234,21 @@ class TestWorkerCountEdgeCases:
         parallel = run_ensemble(protocol, inputs, seeds, max_steps=500, backend="process")
         assert parallel == serial
 
+    def test_zero_and_negative_worker_env_overrides_rejected(self, monkeypatch):
+        # Regression: values below 1 used to be silently clamped to 1 while
+        # a non-integer raised — now every malformed value fails loudly,
+        # naming the variable, like the REPRO_FORCE_ENGINE convention.
+        from repro.config import default_batch_workers
+
+        for bad in ("0", "-3"):
+            monkeypatch.setenv("REPRO_BATCH_DEFAULT_WORKERS", bad)
+            with pytest.raises(ValueError, match="REPRO_BATCH_DEFAULT_WORKERS"):
+                default_batch_workers()
+            with pytest.raises(ValueError, match="REPRO_BATCH_DEFAULT_WORKERS"):
+                run_ensemble(
+                    majority_protocol(), _majority_inputs(9), [1], backend="process"
+                )
+
 
 class TestReproducibility:
     def test_batch_runner_reproducible_from_master_seed(self):
@@ -332,6 +348,49 @@ class TestPersistentPool:
         finally:
             fresh_first.close()
             fresh_second.close()
+
+    def test_concurrent_run_seeds_from_threads_is_safe_and_deterministic(self):
+        # Regression: two threads sharing one pool used to race _ensure_pool
+        # and interleave map phases.  The dispatch lock serializes whole
+        # ensembles, so both threads must get their exact serial results and
+        # the pool must stay usable afterwards.
+        protocol = majority_protocol()
+        inputs = _majority_inputs(24)
+        seeds_by_thread = [[101, 102, 103, 104], [201, 202, 203, 204]]
+        expected = [
+            run_ensemble(protocol, inputs, seeds, max_steps=500, backend="serial")
+            for seeds in seeds_by_thread
+        ]
+        barrier = threading.Barrier(2)
+        results = [None, None]
+        errors = []
+
+        def submit(index):
+            try:
+                barrier.wait(timeout=30)
+                results[index] = pool.run_seeds(
+                    protocol, inputs, seeds_by_thread[index], max_steps=500
+                )
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        with WorkerPool(max_workers=2) as pool:
+            threads = [
+                threading.Thread(target=submit, args=(index,))
+                for index in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+            assert results[0] == expected[0]
+            assert results[1] == expected[1]
+            # The pool survived the contention and still serves new work.
+            again = pool.run_seeds(
+                protocol, inputs, seeds_by_thread[0], max_steps=500
+            )
+            assert again == expected[0]
 
     def test_persistent_pool_matches_serial(self):
         protocol = majority_protocol()

@@ -452,6 +452,56 @@ class TestClaimLifecycle:
         assert not set(BOOKKEEPING_COLUMNS) & set(row)
         store.close()
 
+    def test_store_clock_is_clamped_to_a_monotonic_floor(self, tmp_path):
+        # Regression: lease/backoff arithmetic used to read the wall clock
+        # raw; a backwards NTP step retreated every timestamp.  The store
+        # now clamps any clock source (injected fakes included) with
+        # max(last_returned, now).
+        clock = _FakeClock()
+        spec = _tiny_spec(populations=(8,))
+        store = _registered_store(tmp_path, spec, clock=clock)
+        assert store._clock() == 1000.0
+        clock.advance(-250)  # the wall steps backwards
+        assert store._clock() == 1000.0  # held at the floor
+        clock.advance(300)  # raw 1050: the wall caught back up
+        assert store._clock() == 1050.0
+        store.close()
+
+    def test_backwards_clock_step_cannot_break_a_live_lease(self, tmp_path):
+        # Claim at t=1000, wall steps back to t=900, the owner heartbeats.
+        # Unclamped, the renewal would set lease_expires = 910 — so when the
+        # wall recovers to 1005 the lease looks expired and a second runner
+        # reclaims a cell that is actively being computed.  The clamp renews
+        # from the floor: the lease holds to 1010.
+        clock = _FakeClock()
+        spec = _tiny_spec()
+        store = _registered_store(tmp_path, spec, lease_seconds=10, clock=clock)
+        claim = store.claim_next("owner")
+        clock.advance(-100)
+        assert store.heartbeat(claim) is True
+        clock.now = 1005.0  # the wall recovers, 5s after the claim
+        other = store.claim_next("thief")
+        assert other is not None and other.cell != claim.cell
+        assert store.claim_next("thief") is None  # nothing expired
+        assert store.finish_claim(claim, _Stats()) is True
+        store.close()
+
+    def test_backoff_survives_a_backwards_clock_step(self, tmp_path):
+        clock = _FakeClock()
+        spec = _tiny_spec(populations=(8,))
+        store = _registered_store(
+            tmp_path, spec, lease_seconds=10, max_retries=2, backoff_base=5,
+            clock=clock,
+        )
+        claim = store.claim_next("a")
+        assert store.fail_claim(claim, "boom") == "retry"  # next_attempt 1005
+        clock.advance(-500)
+        assert store.claim_next("a") is None  # clamped to 1000: still backing off
+        clock.now = 1006.0  # past the backoff deadline
+        retried = store.claim_next("a")
+        assert retried is not None and retried.attempt == 1
+        store.close()
+
 
 # ----------------------------------------------------------------------
 # Claim-commit fault points

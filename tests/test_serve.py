@@ -1,0 +1,366 @@
+"""Tests for the serve layer: job specs, content keys, server, client.
+
+The load-bearing properties:
+
+* job validation inherits the sweep layer's rejection rules (unknown
+  protocols/params/schedulers/engines, unknown fields, malformed scalars),
+* the content key canonicalizes — reordered JSON, case/whitespace spellings
+  and defaulted-vs-explicit optional fields share one key, while anything
+  that changes the simulated ensemble (seed, population, budget, analytics)
+  gets its own,
+* seeds follow the sweep discipline: a served job, the equivalent sweep
+  cell, and a direct ``Simulator.run_many`` draw identical seeds, so the
+  served payload is **byte-identical** (post-JSON) to a direct run,
+* the server caches by content key (duplicate submission → cache hit, zero
+  new pool work), enforces the per-client 429 cap, coalesces concurrent
+  duplicates, and drains gracefully (503 for new work, in-flight completes),
+* the config knobs fail loudly on malformed values.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import config
+from repro.serve import (
+    BackgroundServer,
+    JobSpec,
+    ServeClient,
+    ServeRejected,
+    SimulationServer,
+)
+from repro.simulation.simulator import Simulator
+from repro.sweep.spec import SweepSpec, build_protocol_and_inputs, derive_cell_seed
+
+
+def _job(**overrides):
+    base = dict(protocol="majority", population=24, repetitions=3, max_steps=8000)
+    base.update(overrides)
+    return base
+
+
+def _render_direct(spec: JobSpec):
+    """The job executed directly via Simulator.run_many, rendered like serve."""
+    protocol, inputs = build_protocol_and_inputs(
+        spec.protocol, spec.population, spec.params
+    )
+    simulator = Simulator(protocol, engine=spec.engine, seed=spec.ensemble_seed)
+    results = simulator.run_many(
+        inputs,
+        spec.repetitions,
+        max_steps=spec.max_steps,
+        stability_window=spec.stability_window,
+    )
+    rendered = [
+        {
+            "seed": seed,
+            "steps": result.steps,
+            "consensus": result.consensus,
+            "consensus_step": result.consensus_step,
+            "converged": result.converged,
+            "terminated": result.terminated,
+            "interactions_sampled": result.interactions_sampled,
+        }
+        for seed, result in zip(spec.repetition_seeds(), results)
+    ]
+    return json.loads(json.dumps(rendered))
+
+
+class TestJobSpecValidation:
+    def test_unknown_protocol_rejected_like_sweeps(self):
+        with pytest.raises(ValueError, match="unknown sweep protocol"):
+            JobSpec.from_dict(_job(protocol="nope"))
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ValueError, match="does not accept parameters"):
+            JobSpec.from_dict(_job(params={"bogus": 1}))
+
+    def test_unknown_scheduler_and_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler kind"):
+            JobSpec.from_dict(_job(scheduler="chaotic"))
+        with pytest.raises(ValueError, match="unknown engine"):
+            JobSpec.from_dict(_job(engine="warp"))
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown job fields"):
+            JobSpec.from_dict(_job(seed=7))
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(ValueError, match="'protocol' and 'population'"):
+            JobSpec.from_dict({"population": 10})
+
+    def test_non_integral_scalars_rejected(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            JobSpec.from_dict(_job(population=10.5))
+        with pytest.raises(ValueError, match="must be an integer"):
+            JobSpec.from_dict(_job(repetitions="four"))
+
+    def test_round_trips_through_to_dict(self):
+        spec = JobSpec.from_dict(_job(analytics=True))
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestContentKeyCanonicalization:
+    def test_reordered_json_keys_share_a_key(self):
+        a = JobSpec.from_dict(
+            {"protocol": "majority", "population": 24, "repetitions": 3}
+        )
+        b = JobSpec.from_dict(
+            {"repetitions": 3, "population": 24, "protocol": "majority"}
+        )
+        assert a.key == b.key
+
+    def test_equivalent_spellings_share_a_key(self):
+        a = JobSpec.from_dict(_job(protocol=" Majority ", engine="NumPy"))
+        b = JobSpec.from_dict(_job(protocol="majority", engine="numpy"))
+        assert a.key == b.key
+
+    def test_defaulted_and_explicit_optionals_share_a_key(self):
+        minimal = JobSpec.from_dict({"protocol": "majority", "population": 24})
+        explicit = JobSpec.from_dict(
+            {
+                "protocol": "majority",
+                "population": 24.0,
+                "params": {},
+                "scheduler": "uniform",
+                "engine": "auto",
+                "repetitions": 8,
+                "master_seed": 0,
+                "max_steps": 100000,
+                "stability_window": 200,
+                "analytics": False,
+            }
+        )
+        assert minimal.key == explicit.key
+
+    def test_reordered_params_share_a_key(self):
+        a = JobSpec.from_dict(
+            _job(protocol="modulo", params={"modulus": 3, "remainder": 1})
+        )
+        b = JobSpec.from_dict(
+            _job(protocol="modulo", params={"remainder": 1, "modulus": 3})
+        )
+        assert a.key == b.key
+
+    def test_distinct_seeds_and_populations_do_not_collide(self):
+        base = JobSpec.from_dict(_job())
+        assert base.key != JobSpec.from_dict(_job(master_seed=1)).key
+        assert base.key != JobSpec.from_dict(_job(population=25)).key
+        assert base.key != JobSpec.from_dict(_job(repetitions=4)).key
+        assert base.key != JobSpec.from_dict(_job(max_steps=9000)).key
+        assert base.key != JobSpec.from_dict(_job(stability_window=100)).key
+        assert base.key != JobSpec.from_dict(_job(analytics=True)).key
+        assert base.key != JobSpec.from_dict(_job(engine="numpy")).key
+        assert (
+            base.key
+            != JobSpec.from_dict(_job(protocol="modulo", params={"modulus": 2})).key
+        )
+
+    def test_engine_changes_key_but_not_seed(self):
+        auto = JobSpec.from_dict(_job(engine="auto"))
+        numpy = JobSpec.from_dict(_job(engine="numpy"))
+        assert auto.key != numpy.key
+        assert auto.ensemble_seed == numpy.ensemble_seed
+
+
+class TestSeedDiscipline:
+    def test_ensemble_seed_matches_sweep_cell_seed(self):
+        spec = JobSpec.from_dict(_job(master_seed=42))
+        sweep = SweepSpec(
+            protocols=["majority"],
+            populations=[24],
+            repetitions=3,
+            master_seed=42,
+            max_steps=8000,
+        )
+        (cell,) = sweep.cells()
+        assert spec.ensemble_seed == sweep.cell_seed(cell)
+        assert spec.ensemble_seed == derive_cell_seed(42, cell.seed_scope)
+
+    def test_repetition_seeds_match_run_many_derivation(self):
+        spec = JobSpec.from_dict(_job())
+        import random
+
+        master = random.Random(spec.ensemble_seed)
+        expected = [master.getrandbits(64) for _ in range(spec.repetitions)]
+        assert spec.repetition_seeds() == expected
+
+
+class TestServerEndToEnd:
+    def test_served_result_byte_identical_to_direct_run(self):
+        job = _job()
+        spec = JobSpec.from_dict(job)
+        with BackgroundServer(backend="process", max_workers=2, concurrency=1) as bg:
+            client = ServeClient(bg.url, client_id="t1")
+            result = client.run(job, timeout=300)
+        assert result["runs"] == _render_direct(spec)
+        assert result["statistics"]["runs"] == spec.repetitions
+        assert result["accuracy"] is not None
+        assert result["job"] == spec.key
+
+    def test_duplicate_submission_is_a_cache_hit_with_no_new_pool_work(self):
+        job = _job()
+        respelled = {
+            "max_steps": job["max_steps"],
+            "repetitions": job["repetitions"],
+            "population": float(job["population"]),
+            "protocol": " MAJORITY ",
+            "engine": "Auto",
+            "scheduler": "uniform",
+        }
+        with BackgroundServer(backend="process", max_workers=2, concurrency=1) as bg:
+            client = ServeClient(bg.url, client_id="t2")
+            first = client.run(job, timeout=300)
+            second = client.submit(respelled)
+            metrics = client.metrics()
+        assert second["cached"] is True
+        assert second["result"] == first
+        assert metrics["repro_serve_cache_hits"] == 1
+        assert metrics["repro_serve_jobs_completed"] == 1
+
+    def test_analytics_payload_served(self):
+        job = _job(analytics=True)
+        with BackgroundServer(backend="serial", concurrency=1) as bg:
+            client = ServeClient(bg.url, client_id="t3")
+            result = client.run(job, timeout=300)
+        assert len(result["analytics"]) == job["repetitions"]
+        for metrics in result["analytics"]:
+            assert "time_to_stable_consensus" in metrics
+            assert "correct" in metrics
+
+    def test_validation_errors_surface_as_400(self):
+        from repro.serve.client import ServeError
+
+        with BackgroundServer(backend="serial", concurrency=1) as bg:
+            client = ServeClient(bg.url, client_id="t4")
+            with pytest.raises(ServeError, match="unknown sweep protocol"):
+                client.submit(_job(protocol="nope"))
+            with pytest.raises(ServeError, match="HTTP 404"):
+                client.status("not-a-real-key")
+
+    def test_drain_rejects_new_work_and_finishes_in_flight(self):
+        # The stability window equals the step budget, so the ensemble runs
+        # its full budget and is reliably still in flight when the drain and
+        # the 503 probe land right after the submit.
+        job = _job(population=60, repetitions=4, max_steps=120000,
+                   stability_window=120000)
+        with BackgroundServer(backend="serial", concurrency=1) as bg:
+            client = ServeClient(bg.url, client_id="t5")
+            submitted = client.submit(job)
+            assert submitted["status"] in ("queued", "running")
+            bg.drain()
+            with pytest.raises(ServeRejected) as rejected:
+                client.submit(_job(population=61))
+            assert rejected.value.status == 503
+        # __exit__ joined the thread: the in-flight ensemble completed and
+        # landed in the cache before shutdown.
+        assert bg.server.metrics.jobs_completed == 1
+        assert bg.server.metrics.jobs_failed == 0
+        assert bg.server.metrics.rejected_draining == 1
+        status, body = bg.server._job_status(submitted["job"])
+        assert status == 200 and body["status"] == "done"
+        assert body["result"]["statistics"]["runs"] == 4
+
+
+class TestBackpressureAndCoalescing:
+    """Handler-level tests: deterministic, no event loop or timing needed."""
+
+    def test_in_flight_cap_rejects_with_429(self):
+        server = SimulationServer(backend="serial", max_inflight=1)
+        status, first = server._submit(_job(), "client-a")
+        assert status == 202 and first["status"] == "queued"
+        status, second = server._submit(_job(population=25), "client-a")
+        assert status == 429
+        assert "retry_after" in second
+        assert server.metrics.rejected_backpressure == 1
+        # A different client is unaffected by client-a's cap.
+        status, other = server._submit(_job(population=25), "client-b")
+        assert status == 202
+
+    def test_concurrent_duplicate_coalesces_instead_of_requeueing(self):
+        server = SimulationServer(backend="serial", max_inflight=4)
+        status, first = server._submit(_job(), "client-a")
+        assert status == 202
+        status, duplicate = server._submit(_job(), "client-b")
+        assert status == 202
+        assert duplicate["coalesced"] is True
+        assert duplicate["job"] == first["job"]
+        assert len(server._pending) == 1
+        assert server.metrics.jobs_coalesced == 1
+
+    def test_resubmitting_own_active_job_does_not_hit_the_cap(self):
+        server = SimulationServer(backend="serial", max_inflight=1)
+        status, first = server._submit(_job(), "client-a")
+        assert status == 202
+        # The same key again from the same client: coalesce, not 429.
+        status, again = server._submit(_job(), "client-a")
+        assert status == 202 and again["coalesced"] is True
+
+    def test_draining_server_rejects_submissions(self):
+        server = SimulationServer(backend="serial")
+        server.request_drain()
+        status, body = server._submit(_job(), "client-a")
+        assert status == 503
+        assert "draining" in body["error"]
+
+
+class TestServeConfigKnobs:
+    def test_defaults_without_environment(self, monkeypatch):
+        for var in (
+            config.SERVE_HOST_ENV,
+            config.SERVE_PORT_ENV,
+            config.SERVE_CACHE_SIZE_ENV,
+            config.SERVE_MAX_INFLIGHT_ENV,
+        ):
+            monkeypatch.delenv(var, raising=False)
+        assert config.serve_host() == config.DEFAULT_SERVE_HOST
+        assert config.serve_port() == config.DEFAULT_SERVE_PORT
+        assert config.serve_cache_size() == config.DEFAULT_SERVE_CACHE_SIZE
+        assert config.serve_max_inflight() == config.DEFAULT_SERVE_MAX_INFLIGHT
+
+    def test_overrides_are_honored(self, monkeypatch):
+        monkeypatch.setenv(config.SERVE_HOST_ENV, "0.0.0.0")
+        monkeypatch.setenv(config.SERVE_PORT_ENV, "0")
+        monkeypatch.setenv(config.SERVE_CACHE_SIZE_ENV, "5")
+        monkeypatch.setenv(config.SERVE_MAX_INFLIGHT_ENV, "2")
+        assert config.serve_host() == "0.0.0.0"
+        assert config.serve_port() == 0
+        assert config.serve_cache_size() == 5
+        assert config.serve_max_inflight() == 2
+
+    def test_malformed_values_fail_loudly(self, monkeypatch):
+        monkeypatch.setenv(config.SERVE_PORT_ENV, "http")
+        with pytest.raises(ValueError, match=config.SERVE_PORT_ENV):
+            config.serve_port()
+        monkeypatch.setenv(config.SERVE_CACHE_SIZE_ENV, "0")
+        with pytest.raises(ValueError, match=config.SERVE_CACHE_SIZE_ENV):
+            config.serve_cache_size()
+        monkeypatch.setenv(config.SERVE_MAX_INFLIGHT_ENV, "-1")
+        with pytest.raises(ValueError, match=config.SERVE_MAX_INFLIGHT_ENV):
+            config.serve_max_inflight()
+
+    def test_server_constructor_validates_knobs(self):
+        with pytest.raises(ValueError, match="backend"):
+            SimulationServer(backend="quantum")
+        with pytest.raises(ValueError, match="concurrency"):
+            SimulationServer(backend="serial", concurrency=0)
+        with pytest.raises(ValueError, match="cache_size"):
+            SimulationServer(backend="serial", cache_size=0)
+        with pytest.raises(ValueError, match="max_inflight"):
+            SimulationServer(backend="serial", max_inflight=0)
+
+
+class TestResultCacheBounds:
+    def test_cache_evicts_least_recently_used(self):
+        server = SimulationServer(backend="serial", cache_size=2)
+        for population in (10, 11, 12):
+            spec = JobSpec.from_dict(_job(population=population))
+            server._cache[spec.key] = {"population": population}
+            server._cache.move_to_end(spec.key)
+            while len(server._cache) > server.cache_size:
+                server._cache.popitem(last=False)
+        assert len(server._cache) == 2
+        oldest = JobSpec.from_dict(_job(population=10))
+        status, body = server._job_status(oldest.key)
+        assert status == 404
