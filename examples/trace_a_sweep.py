@@ -1,0 +1,110 @@
+"""Trace a sweep: structured spans from grid cells down to single runs.
+
+The observability layer (:mod:`repro.obs`) records what a computation *did*
+— which cells ran, how long each repetition took, where the wall-clock went
+between queueing and execution — without perturbing what it *computed*:
+instrumentation reads clocks and result objects, never the RNG stream, so a
+traced sweep is bit-identical to an untraced one.  This example:
+
+1. runs a small majority sweep twice — serial, then over a 2-process worker
+   pool — with a JSONL tracer installed, so every sweep cell, pool dispatch,
+   worker chunk, and individual run emits a span,
+2. walks the span tree of the process-backed trace to show the layers
+   (sweep-cell → dispatch → chunk → run) and where the time went,
+3. canonicalizes both traces (timing and topology attributes stripped) and
+   verifies they are **byte-identical** — the logical execution does not
+   depend on the backend,
+4. enables the engine profiler for the serial pass and prints the
+   metrics-registry rendering of its per-engine counters in Prometheus
+   text exposition format.
+
+The same inspection runs from the shell against any trace file:
+
+    REPRO_TRACE=1 REPRO_TRACE_PATH=sweep.jsonl python -m repro.sweep run ...
+    python -m repro.obs summary sweep.jsonl
+    python -m repro.obs timeline sweep.jsonl
+    python -m repro.obs canon sweep.jsonl -o sweep.canon.jsonl
+
+Run with:  python examples/trace_a_sweep.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.obs import profile as obs_profile
+from repro.obs import render
+from repro.obs import trace as obs_trace
+from repro.obs.registry import get_registry
+from repro.sweep import MemoryResultStore, SweepRunner, SweepSpec
+
+
+def build_spec() -> SweepSpec:
+    return SweepSpec(
+        protocols=("majority",),
+        populations=(16, 24),
+        schedulers=("uniform",),
+        engines=("compiled",),
+        repetitions=4,
+        master_seed=2022,
+        max_steps=2000,
+        stability_window=100,
+    )
+
+
+def traced_sweep(path: Path, backend: str) -> None:
+    obs_trace.install_tracer(obs_trace.Tracer(str(path)))
+    try:
+        kwargs = {"max_workers": 2} if backend == "process" else {}
+        report = SweepRunner(
+            build_spec(), MemoryResultStore(), backend=backend, **kwargs
+        ).run()
+    finally:
+        obs_trace.uninstall_tracer()
+    print(f"  {backend}: executed {report.executed} cells -> {path.name}")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-trace-"))
+    serial_path = workdir / "serial.jsonl"
+    process_path = workdir / "process.jsonl"
+
+    print("== 1. Run the sweep under a tracer, on both backends ==")
+    # Profiler on for the serial pass: per-engine run/step counters and the
+    # steps/sec gauge accumulate in the process-wide registry (workers keep
+    # their own registries, so the process pass profiles there, not here).
+    obs_profile.enable_profiling(sample_every=4)
+    try:
+        traced_sweep(serial_path, "serial")
+    finally:
+        obs_profile.disable_profiling()
+    traced_sweep(process_path, "process")
+
+    print()
+    print("== 2. The span tree of the process-backed sweep ==")
+    events = render.load_events(str(process_path))
+    print(render.timeline(events))
+
+    print("== 3. Canonical traces are byte-identical across backends ==")
+    canon_serial = render.canon(render.load_events(str(serial_path)))
+    canon_process = render.canon(events)
+    assert canon_serial.encode() == canon_process.encode()
+    lines = canon_serial.splitlines()
+    print(f"  {len(lines)} canonical records, identical bytes; first record:")
+    print(f"    {lines[0]}")
+
+    print()
+    print("== 4. Profiler counters accumulated in the process-wide registry ==")
+    text = get_registry().render()
+    for line in text.splitlines():
+        if line.startswith(
+            ("repro_engine_runs_total", "repro_engine_steps_total",
+             "repro_engine_steps_per_second")
+        ):
+            print(f"  {line}")
+
+    print()
+    print(f"traces kept in {workdir} — inspect with python -m repro.obs")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,9 +53,36 @@ The recognized variables:
     Per-client in-flight job cap before the server answers 429 (default 8,
     minimum 1).  Read through :func:`serve_max_inflight`.
 
+``REPRO_TRACE`` / ``REPRO_TRACE_PATH``
+    The observability layer's tracing switch (:mod:`repro.obs`): when
+    ``REPRO_TRACE`` is truthy, the CLI entry points install a JSONL trace
+    writer on ``REPRO_TRACE_PATH`` (default ``repro_trace.jsonl``) and every
+    instrumented layer — engines, pools, sweep runners, the serve loop —
+    emits span events into it.  Read through :func:`trace_enabled` /
+    :func:`trace_path`.  Tracing never feeds back into simulation state, so
+    the knob cannot change any computed result.
+
+``REPRO_METRICS``
+    Enables the engine profiling hooks (:mod:`repro.obs.profile`): sampled
+    stepper timings flow into the process-wide metrics registry.  Off by
+    default — the hooks compile down to a single predicate check per run,
+    bench-asserted to cost ≤2% on the compiled engine.  Read through
+    :func:`metrics_enabled`.
+
 All integer knobs share one discipline (:func:`_positive_int_env`): malformed
 or out-of-range values raise a :class:`ValueError` naming the variable —
-configuration is never silently repaired.
+configuration is never silently repaired.  Boolean knobs
+(:func:`_bool_env`) accept ``1/true/yes/on`` and ``0/false/no/off`` only.
+
+This module is also the **clock funnel** of the observability layer:
+:func:`wall_time` is the only sanctioned wall-clock read in the library
+(trace files carry one wall timestamp in their header so operators can line
+a trace up with external logs), and :func:`monotonic_time` is the blessed
+monotonic source for span durations.  Routing every observability clock read
+through here keeps the determinism linter's DET102 discipline meaningful:
+the simulation layers still contain no clock reads at all, and the single
+wall-clock site below is pragma'd where any reviewer of environmental inputs
+will see it.
 
 All helpers read the environment on every call (no caching), so tests can
 monkeypatch ``os.environ`` and worker processes inherit whatever the parent
@@ -65,6 +92,7 @@ exported at spawn time — the behavior the CI jobs pin.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from typing import Optional, Sequence, Set, Tuple
 
@@ -74,20 +102,29 @@ __all__ = [
     "DEFAULT_SERVE_HOST",
     "DEFAULT_SERVE_MAX_INFLIGHT",
     "DEFAULT_SERVE_PORT",
+    "DEFAULT_TRACE_PATH",
     "FAULT_PLAN_ENV",
     "FORCE_ENGINE_ENV",
+    "METRICS_ENV",
     "SERVE_CACHE_SIZE_ENV",
     "SERVE_HOST_ENV",
     "SERVE_MAX_INFLIGHT_ENV",
     "SERVE_PORT_ENV",
+    "TRACE_ENV",
+    "TRACE_PATH_ENV",
     "default_batch_workers",
     "fault_plan_text",
     "forced_engine",
+    "metrics_enabled",
+    "monotonic_time",
     "notice_explicit_engine",
     "serve_cache_size",
     "serve_host",
     "serve_max_inflight",
     "serve_port",
+    "trace_enabled",
+    "trace_path",
+    "wall_time",
 ]
 
 #: Environment override consulted by ``engine="auto"`` only (see
@@ -114,6 +151,19 @@ DEFAULT_SERVE_HOST = "127.0.0.1"
 DEFAULT_SERVE_PORT = 8765
 DEFAULT_SERVE_CACHE_SIZE = 256
 DEFAULT_SERVE_MAX_INFLIGHT = 8
+
+#: Observability knobs: the tracing switch, the trace file path, and the
+#: engine-profiling switch (see :func:`trace_enabled` and friends).
+TRACE_ENV = "REPRO_TRACE"
+TRACE_PATH_ENV = "REPRO_TRACE_PATH"
+METRICS_ENV = "REPRO_METRICS"
+
+#: Where trace events land when ``REPRO_TRACE`` is on and no path is given.
+DEFAULT_TRACE_PATH = "repro_trace.jsonl"
+
+#: Truthy / falsy spellings accepted by boolean knobs.
+_BOOL_TRUE = frozenset({"1", "true", "yes", "on"})
+_BOOL_FALSE = frozenset({"0", "false", "no", "off"})
 
 
 def fault_plan_text() -> str:
@@ -254,3 +304,76 @@ def serve_max_inflight() -> int:
     new submissions are rejected with HTTP 429.  Must be at least 1.
     """
     return _positive_int_env(SERVE_MAX_INFLIGHT_ENV, DEFAULT_SERVE_MAX_INFLIGHT)
+
+
+# ----------------------------------------------------------------------
+# Observability knobs and the clock funnel
+# ----------------------------------------------------------------------
+def _bool_env(name: str, default: bool) -> bool:
+    """Read a boolean knob, failing loudly on unrecognized spellings.
+
+    The fail-loudly convention of :func:`_positive_int_env` for switches:
+    ``REPRO_TRACE=ture`` must abort, never silently disable tracing the
+    operator asked for.
+    """
+    override = os.environ.get(name)
+    if override is None or not override.strip():
+        return default
+    lowered = override.strip().lower()
+    if lowered in _BOOL_TRUE:
+        return True
+    if lowered in _BOOL_FALSE:
+        return False
+    raise ValueError(
+        f"{name} must be one of 1/true/yes/on or 0/false/no/off, got {override!r}"
+    )
+
+
+def trace_enabled() -> bool:
+    """Whether ``REPRO_TRACE`` asks the CLI entry points to install tracing.
+
+    This is the *environment* switch consulted at process entry
+    (``python -m repro.sweep`` / ``python -m repro.serve``); library callers
+    install a tracer programmatically via
+    :func:`repro.obs.install_tracer` regardless of the variable.
+    """
+    return _bool_env(TRACE_ENV, False)
+
+
+def trace_path() -> str:
+    """The trace file path (``REPRO_TRACE_PATH``, default ``repro_trace.jsonl``)."""
+    override = os.environ.get(TRACE_PATH_ENV, "").strip()
+    return override or DEFAULT_TRACE_PATH
+
+
+def metrics_enabled() -> bool:
+    """Whether ``REPRO_METRICS`` enables the engine profiling hooks.
+
+    Off by default: with the hooks disabled the stepper entry points pay one
+    predicate check per run (bench E15 asserts ≤2% on the compiled engine).
+    """
+    return _bool_env(METRICS_ENV, False)
+
+
+def monotonic_time() -> float:
+    """The sanctioned monotonic clock for span durations and profiling.
+
+    ``time.monotonic`` is DET102-exempt (it measures, it cannot leak into
+    results that are pure functions of inputs and seed), but the
+    observability layer still reads it through this funnel so every clock
+    the library consults is named in one module.
+    """
+    return time.monotonic()
+
+
+def wall_time() -> float:
+    """The sanctioned wall-clock read: trace-file headers only.
+
+    The single ``time.time()`` site in the library.  Trace files carry one
+    wall timestamp in their header so operators can line a trace up with
+    external logs; nothing downstream of a simulation ever sees the value,
+    and the canonical trace rendering drops it.  The pragma below is the
+    clock funnel's one sanctioned exemption — the determinism linter flags
+    any other wall-clock read in ``src/repro`` as DET102.
+    """
+    return time.time()  # qa: allow[DET102] -- the sanctioned wall-clock funnel

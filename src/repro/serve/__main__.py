@@ -20,6 +20,7 @@ import signal
 import sys
 from typing import List, Optional
 
+from ..obs import trace as _obs_trace
 from .server import SimulationServer
 
 
@@ -87,7 +88,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    asyncio.run(_amain(server))
+    _obs_trace.tracer_from_env()
+    try:
+        asyncio.run(_amain(server))
+    finally:
+        _obs_trace.uninstall_tracer()
     return 0
 
 

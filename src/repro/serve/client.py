@@ -144,11 +144,18 @@ class ServeClient:
         return self.wait(response["job"], timeout=timeout)
 
     def metrics(self) -> Dict[str, float]:
-        """``GET /metrics`` parsed into a ``{name: value}`` mapping."""
+        """``GET /metrics`` parsed into a ``{name: value}`` mapping.
+
+        The payload is Prometheus text exposition: ``# HELP``/``# TYPE``
+        comment lines are skipped, and a labeled series keeps its label
+        suffix in the key (``repro_serve_jobs_total{status="done"}``).
+        """
         text = self._request("GET", "/metrics")
         parsed: Dict[str, float] = {}
         for line in text.splitlines():
-            name, _, value = line.partition(" ")
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
             if name and value:
                 parsed[name] = float(value)
         return parsed

@@ -46,13 +46,15 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import contextvars
 import json
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Deque, Dict, Optional, Set, Tuple
 
 from .. import config
+from ..obs import trace as _obs_trace
+from ..obs.registry import MetricsRegistry
 from ..simulation.batch import WorkerPool
 from .jobs import JobExecutor, JobSpec
 
@@ -80,32 +82,71 @@ _REASONS = {
 
 
 class ServeMetrics:
-    """Counters for ``GET /metrics`` (mutated only on the event loop)."""
+    """The server's job counters, backed by a metrics registry.
 
-    def __init__(self) -> None:
-        self.jobs_submitted = 0
-        self.jobs_completed = 0
-        self.jobs_failed = 0
-        self.jobs_coalesced = 0
-        self.rejected_backpressure = 0
-        self.rejected_draining = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
+    Each :class:`SimulationServer` owns a private
+    :class:`~repro.obs.registry.MetricsRegistry` (servers constructed in the
+    same process — tests, embedded replicas — must not share counters), and
+    these counters live in it as ``repro_serve_<name>`` families.  Mutation
+    goes through :meth:`inc` (still only on the event loop); attribute reads
+    (``metrics.jobs_completed``) and attribute writes keep working for
+    compatibility, proxied onto the registry counters.
+    """
+
+    _COUNTER_HELP = (
+        ("jobs_submitted", "Jobs accepted (cache hits, coalesced, queued)."),
+        ("jobs_completed", "Jobs that finished and entered the cache."),
+        ("jobs_failed", "Jobs whose execution raised."),
+        ("jobs_coalesced", "Submissions merged onto an in-flight job."),
+        ("rejected_backpressure", "Submissions refused with HTTP 429."),
+        ("rejected_draining", "Submissions refused while draining."),
+        ("cache_hits", "Submissions answered from the result cache."),
+        ("cache_misses", "Submissions that missed the result cache."),
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"repro_serve_{name}", help_text)
+            for name, help_text in self._COUNTER_HELP
+        }
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name].inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value()
+        raise AttributeError(
+            f"{type(self).__name__} has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            # ``metrics.jobs_failed += 1`` spells read-then-write; apply the
+            # delta to the registry counter (negative deltas raise there).
+            counters[name].inc(value - counters[name].value())
+            return
+        super().__setattr__(name, value)
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(vars(self))
+        return {name: counter.value() for name, counter in self._counters.items()}
 
 
 class _Job:
     """One active (queued or running) job and the clients attached to it."""
 
-    __slots__ = ("spec", "key", "status", "clients")
+    __slots__ = ("spec", "key", "status", "clients", "submitted_at")
 
     def __init__(self, spec: JobSpec, clients: Set[str]) -> None:
         self.spec = spec
         self.key = spec.key
         self.status = "queued"
         self.clients = clients
+        #: Monotonic submission time, for the queue-wait histogram/span.
+        self.submitted_at = config.monotonic_time()
 
 
 class SimulationServer:
@@ -163,6 +204,14 @@ class SimulationServer:
 
         self.port: Optional[int] = None
         self.metrics = ServeMetrics()
+        self._queue_wait = self.metrics.registry.histogram(
+            "repro_serve_job_queue_wait_seconds",
+            "Time a job spent queued before a consumer picked it up.",
+        )
+        self._exec_seconds = self.metrics.registry.histogram(
+            "repro_serve_job_exec_seconds",
+            "Time a job spent executing (pool dispatch plus ensemble).",
+        )
         self._pool: Optional[WorkerPool] = None
         self._job_executor: Optional[JobExecutor] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -178,7 +227,6 @@ class SimulationServer:
         self._failed: "collections.OrderedDict[str, str]" = collections.OrderedDict()
         self._clients: Dict[str, Set[str]] = {}
         self._draining = False
-        self._started_monotonic: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -202,7 +250,6 @@ class SimulationServer:
         )
         sockets = self._http_server.sockets or []
         self.port = sockets[0].getsockname()[1] if sockets else self.requested_port
-        self._started_monotonic = time.monotonic()
         self._consumers = [
             loop.create_task(self._consume()) for _ in range(self.concurrency)
         ]
@@ -265,32 +312,47 @@ class SimulationServer:
         job.status = "running"
         self._running += 1
         assert self._job_executor is not None
-        try:
-            payload = await loop.run_in_executor(
-                self._executor, self._job_executor.run, job.spec
-            )
-        except Exception as error:
-            self._failed[job.key] = f"{type(error).__name__}: {error}"
-            while len(self._failed) > self.cache_size:
-                self._failed.popitem(last=False)
-            job.status = "error"
-            self.metrics.jobs_failed += 1
-        else:
-            self._cache[job.key] = payload
-            self._cache.move_to_end(job.key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-            job.status = "done"
-            self.metrics.jobs_completed += 1
-        finally:
-            self._running -= 1
-            self._active.pop(job.key, None)
-            for client in job.clients:
-                held = self._clients.get(client)
-                if held is not None:
-                    held.discard(job.key)
-                    if not held:
-                        self._clients.pop(client, None)
+        queue_wait = config.monotonic_time() - job.submitted_at
+        self._queue_wait.observe(queue_wait)
+        with _obs_trace.span(
+            "serve-job", kind="serve-job", job=job.key, queue_wait=queue_wait
+        ) as job_span:
+            exec_t0 = config.monotonic_time()
+            try:
+                # copy_context() carries the serve-job span into the executor
+                # thread, so the pool's dispatch span (and the adopted worker
+                # chunks under it) parent correctly in the trace tree.
+                context = contextvars.copy_context()
+                payload = await loop.run_in_executor(
+                    self._executor, context.run, self._job_executor.run, job.spec
+                )
+            except Exception as error:
+                self._failed[job.key] = f"{type(error).__name__}: {error}"
+                while len(self._failed) > self.cache_size:
+                    self._failed.popitem(last=False)
+                job.status = "error"
+                job_span.set(status="error")
+                self.metrics.inc("jobs_failed")
+            else:
+                self._cache[job.key] = payload
+                self._cache.move_to_end(job.key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                job.status = "done"
+                job_span.set(status="done")
+                self.metrics.inc("jobs_completed")
+            finally:
+                exec_seconds = config.monotonic_time() - exec_t0
+                self._exec_seconds.observe(exec_seconds)
+                job_span.set(exec_seconds=exec_seconds)
+                self._running -= 1
+                self._active.pop(job.key, None)
+                for client in job.clients:
+                    held = self._clients.get(client)
+                    if held is not None:
+                        held.discard(job.key)
+                        if not held:
+                            self._clients.pop(client, None)
 
     # ------------------------------------------------------------------
     # Request handling (sync core, exercised directly by the unit tests)
@@ -299,7 +361,7 @@ class SimulationServer:
         self, payload: Any, client: str
     ) -> Tuple[int, Dict[str, Any]]:
         if self._draining:
-            self.metrics.rejected_draining += 1
+            self.metrics.inc("rejected_draining")
             return 503, {"error": "server is draining; not accepting new jobs"}
         try:
             spec = JobSpec.from_dict(payload)
@@ -309,21 +371,21 @@ class SimulationServer:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            self.metrics.jobs_submitted += 1
-            self.metrics.cache_hits += 1
+            self.metrics.inc("jobs_submitted")
+            self.metrics.inc("cache_hits")
             return 200, {
                 "job": key,
                 "status": "done",
                 "cached": True,
                 "result": cached,
             }
-        self.metrics.cache_misses += 1
+        self.metrics.inc("cache_misses")
         held = self._clients.setdefault(client, set())
         active = self._active.get(key)
         if key not in held and len(held) >= self.max_inflight:
             if not held:
                 self._clients.pop(client, None)
-            self.metrics.rejected_backpressure += 1
+            self.metrics.inc("rejected_backpressure")
             return 429, {
                 "error": (
                     f"client {client!r} already has {len(held)} jobs in "
@@ -332,13 +394,13 @@ class SimulationServer:
                 ),
                 "retry_after": 1.0,
             }
-        self.metrics.jobs_submitted += 1
+        self.metrics.inc("jobs_submitted")
         if active is not None:
             # Same content key already queued or running: coalesce instead
             # of computing the ensemble twice.
             active.clients.add(client)
             held.add(key)
-            self.metrics.jobs_coalesced += 1
+            self.metrics.inc("jobs_coalesced")
             return 202, {
                 "job": key,
                 "status": active.status,
@@ -366,16 +428,28 @@ class SimulationServer:
             return 200, {"job": key, "status": "error", "error": error}
         return 404, {"error": f"unknown job {key!r}"}
 
+    _GAUGE_HELP = (
+        ("queue_depth", "Jobs queued and waiting for a pool slot."),
+        ("jobs_inflight", "Jobs currently executing."),
+        ("pool_utilization", "Fraction of the concurrency cap in use."),
+        ("pool_workers", "Worker processes in the backing pool."),
+        ("cache_entries", "Results currently held in the LRU cache."),
+        ("cache_capacity", "Configured LRU cache capacity."),
+        ("clients_tracked", "Clients with at least one job in flight."),
+        ("draining", "1 while the server is draining, else 0."),
+    )
+
     def metrics_text(self) -> str:
-        """The ``/metrics`` payload: ``repro_serve_<name> <value>`` lines."""
-        counters = self.metrics.as_dict()
-        uptime = (
-            time.monotonic() - self._started_monotonic
-            if self._started_monotonic is not None
-            else 0.0
-        )
-        gauges = {
-            "uptime_seconds": round(uptime, 3),
+        """The ``/metrics`` payload in Prometheus text exposition format.
+
+        Point-in-time state is refreshed into registry gauges on every
+        scrape; counters and histograms accumulate at their call sites.
+        Deliberately excludes anything clock-derived (no uptime), so two
+        scrapes of an idle server are byte-identical — a property the
+        regression tests pin.
+        """
+        registry = self.metrics.registry
+        values = {
             "queue_depth": len(self._pending),
             "jobs_inflight": self._running,
             "pool_utilization": round(self._running / self.concurrency, 3),
@@ -387,11 +461,9 @@ class SimulationServer:
             "clients_tracked": len(self._clients),
             "draining": int(self._draining),
         }
-        lines = [
-            f"repro_serve_{name} {value}"
-            for name, value in {**counters, **gauges}.items()
-        ]
-        return "\n".join(lines) + "\n"
+        for name, help_text in self._GAUGE_HELP:
+            registry.gauge(f"repro_serve_{name}", help_text).set(values[name])
+        return registry.render()
 
     # ------------------------------------------------------------------
     # HTTP plumbing

@@ -56,8 +56,10 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import default_batch_workers as _default_max_workers
+from ..config import monotonic_time
 from ..core.configuration import Configuration
 from ..core.protocol import Protocol
+from ..obs import trace as _obs_trace
 from .scheduler import Scheduler
 from .simulator import SimulationResult, Simulator
 from .trajectory import DEFAULT_TRAJECTORY_CAPACITY
@@ -237,22 +239,44 @@ def _initialize_worker(spec_bytes: Optional[bytes]) -> None:
         _worker_simulator(spec_bytes)
 
 
-def _run_worker_task(task: Tuple[Any, ...]) -> List[SimulationResult]:
+def _run_worker_task(
+    task: Tuple[Any, ...]
+) -> Tuple[List[SimulationResult], Optional[List[dict]]]:
     """Run one chunk of seeds on the worker's cached simulator for the spec.
 
     ``task`` carries the spec alongside the per-ensemble parameters (initial
-    configuration, step budget, recording and analytics knobs) and the chunk,
-    so one pool can serve ensembles of different protocols and parameters.
-    With an analytics spec the metric extraction happens *here*, in the
-    worker: full trajectory rings are recorded, consumed and dropped locally,
-    and only the compact metric dicts travel back through the pool.
+    configuration, step budget, recording and analytics knobs), the chunk,
+    and a tracing flag, so one pool can serve ensembles of different
+    protocols and parameters.  With an analytics spec the metric extraction
+    happens *here*, in the worker: full trajectory rings are recorded,
+    consumed and dropped locally, and only the compact metric dicts travel
+    back through the pool.
+
+    Returns ``(results, events)``: when the dispatching process had tracing
+    active it sets the task's trace flag, and the worker buffers its span
+    events (one ``chunk`` span wrapping per-run ``run`` events) and ships
+    them back for the parent to :func:`repro.obs.trace.adopt` — the flag
+    travels in the task rather than the environment so programmatic tracing
+    propagates under every start method.  ``events`` is ``None`` otherwise.
     """
     (spec_bytes, configuration, seeds, max_steps, stability_window,
-     record, capacity, analytics) = task
-    return _worker_simulator(spec_bytes)._run_seeds(
-        configuration, list(seeds), max_steps, stability_window, record,
-        capacity, analytics,
-    )
+     record, capacity, analytics, trace) = task
+    simulator = _worker_simulator(spec_bytes)
+    if not trace:
+        return (
+            simulator._run_seeds(
+                configuration, list(seeds), max_steps, stability_window,
+                record, capacity, analytics,
+            ),
+            None,
+        )
+    with _obs_trace.capture_events() as events:
+        with _obs_trace.span("chunk", kind="chunk", seeds=len(seeds)):
+            results = simulator._run_seeds(
+                configuration, list(seeds), max_steps, stability_window,
+                record, capacity, analytics,
+            )
+    return results, events
 
 
 def _make_tasks(
@@ -264,10 +288,11 @@ def _make_tasks(
     record_trajectory: bool,
     trajectory_capacity: int,
     analytics: Any = None,
+    trace: bool = False,
 ) -> List[tuple]:
     return [
         (spec_bytes, configuration, chunk, max_steps, stability_window,
-         record_trajectory, trajectory_capacity, analytics)
+         record_trajectory, trajectory_capacity, analytics, trace)
         for chunk in chunks
     ]
 
@@ -502,18 +527,33 @@ class WorkerPool:
         # hold more workers than there are seeds.
         effective = max(1, min(self.workers, len(seeds)))
         chunks = _plan_chunks(seeds, effective, chunk_size)
+        tracing = _obs_trace.tracing_active()
         tasks = _make_tasks(
             spec_bytes, configuration, chunks, max_steps, stability_window,
-            record_trajectory, trajectory_capacity, analytics,
+            record_trajectory, trajectory_capacity, analytics, trace=tracing,
         )
-        with self._dispatch_lock:
-            # Re-check under the lock: a close() that won the lock first has
-            # already drained and spent the pool.
-            self._check_open()
-            chunk_results = self._await_map(
-                tasks, timeout, protocol.name or "protocol", seeds
-            )
-        return [result for chunk in chunk_results for result in chunk]
+        with _obs_trace.span(
+            "dispatch", kind="dispatch", chunks=len(tasks), workers=self.workers
+        ) as dispatch_span:
+            lock_t0 = monotonic_time() if tracing else 0.0
+            with self._dispatch_lock:
+                if tracing:
+                    # Queue-wait behind concurrent ensembles (serve threads,
+                    # sweep cells) vs time actually spent in the map.
+                    dispatch_span.set(lock_wait=monotonic_time() - lock_t0)
+                # Re-check under the lock: a close() that won the lock first
+                # has already drained and spent the pool.
+                self._check_open()
+                chunk_results = self._await_map(
+                    tasks, timeout, protocol.name or "protocol", seeds
+                )
+            if tracing:
+                # Chunks return in submission (= seed) order, so adopted
+                # worker events land in exactly the serial emission order.
+                for _, events in chunk_results:
+                    if events:
+                        _obs_trace.adopt(events, parent=dispatch_span.id)
+        return [result for chunk, _ in chunk_results for result in chunk]
 
     def _await_map(
         self,
@@ -521,7 +561,7 @@ class WorkerPool:
         timeout: Optional[float],
         protocol_name: str,
         seeds: Sequence[int],
-    ) -> List[List[SimulationResult]]:
+    ) -> List[Tuple[List[SimulationResult], Optional[List[dict]]]]:
         """Dispatch tasks and await them under crash and timeout watch.
 
         A plain ``Pool.map`` would block forever if a worker process dies
@@ -653,10 +693,14 @@ def run_ensemble(
         if simulator is None:
             simulator = Simulator(protocol, scheduler=scheduler, engine=engine)
         configuration = protocol.initial_configuration(inputs)
-        return simulator._run_seeds(
-            configuration, seeds, max_steps, stability_window,
-            record_trajectory, trajectory_capacity, analytics,
-        )
+        with _obs_trace.span(
+            "ensemble", kind="ensemble",
+            reps=len(seeds), engine=engine, backend="serial",
+        ):
+            return simulator._run_seeds(
+                configuration, seeds, max_steps, stability_window,
+                record_trajectory, trajectory_capacity, analytics,
+            )
 
     if _serial_simulator is None:
         # Validate the (protocol, scheduler, engine) combination in the
@@ -669,7 +713,10 @@ def run_ensemble(
     workers = max_workers if max_workers is not None else _default_max_workers()
     workers = max(1, min(workers, len(seeds)))
     spec_bytes = _dumps_for_workers((protocol, scheduler, engine))
-    with WorkerPool(
+    with _obs_trace.span(
+        "ensemble", kind="ensemble",
+        reps=len(seeds), engine=engine, backend="process",
+    ), WorkerPool(
         max_workers=workers, start_method=start_method, warm_spec_bytes=spec_bytes
     ) as pool:
         return pool.run_seeds(
@@ -880,24 +927,32 @@ class BatchRunner:
         seeds = list(seeds)
         configuration = self.protocol.initial_configuration(inputs)
         if self.backend == "serial" or not seeds:
-            return self._simulator._run_seeds(
-                configuration, seeds, max_steps, stability_window,
-                record_trajectory, trajectory_capacity, analytics,
+            with _obs_trace.span(
+                "ensemble", kind="ensemble",
+                reps=len(seeds), engine=self.engine, backend="serial",
+            ):
+                return self._simulator._run_seeds(
+                    configuration, seeds, max_steps, stability_window,
+                    record_trajectory, trajectory_capacity, analytics,
+                )
+        with _obs_trace.span(
+            "ensemble", kind="ensemble",
+            reps=len(seeds), engine=self.engine, backend=self.backend,
+        ):
+            return self._ensure_pool().run_seeds(
+                self.protocol,
+                inputs,
+                seeds,
+                scheduler=self.scheduler,
+                engine=self.engine,
+                max_steps=max_steps,
+                stability_window=stability_window,
+                chunk_size=self.chunk_size,
+                record_trajectory=record_trajectory,
+                trajectory_capacity=trajectory_capacity,
+                analytics=analytics,
+                spec_bytes=self._spec_bytes,
             )
-        return self._ensure_pool().run_seeds(
-            self.protocol,
-            inputs,
-            seeds,
-            scheduler=self.scheduler,
-            engine=self.engine,
-            max_steps=max_steps,
-            stability_window=stability_window,
-            chunk_size=self.chunk_size,
-            record_trajectory=record_trajectory,
-            trajectory_capacity=trajectory_capacity,
-            analytics=analytics,
-            spec_bytes=self._spec_bytes,
-        )
 
     def __repr__(self) -> str:
         workers = self.max_workers if self.max_workers is not None else "auto"

@@ -60,8 +60,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..config import forced_engine, notice_explicit_engine
+from ..config import forced_engine, monotonic_time, notice_explicit_engine
 from ..core.configuration import Configuration
+from ..obs import profile as _obs_profile
+from ..obs import trace as _obs_trace
 from ..core.protocol import OUTPUT_ONE, OUTPUT_ZERO, Protocol
 from .compiled import OUT_ONE, OUT_UNDEFINED, OUT_ZERO, CompiledNet, StepperFn
 from .scheduler import Scheduler, UniformScheduler
@@ -259,10 +261,27 @@ class Simulator:
         trajectory_capacity: int = DEFAULT_TRAJECTORY_CAPACITY,
     ) -> SimulationResult:
         """Simulate one execution from an arbitrary starting configuration."""
-        return self._dispatch(
+        profiler = _obs_profile.active_profiler()
+        if profiler is None and not _obs_trace.tracing_active():
+            return self._dispatch(
+                configuration, max_steps, stability_window, self.rng,
+                record_trajectory, trajectory_capacity,
+            )
+        t0 = monotonic_time()
+        result = self._dispatch(
             configuration, max_steps, stability_window, self.rng,
             record_trajectory, trajectory_capacity,
         )
+        elapsed = monotonic_time() - t0
+        engine_name = self._choice or "reference"
+        if profiler is not None:
+            profiler.record(engine_name, result.steps, elapsed)
+        _obs_trace.span_event(
+            "run", "run", t0, elapsed,
+            engine=engine_name, steps=result.steps,
+            consensus=result.consensus, terminated=result.terminated,
+        )
+        return result
 
     def _dispatch(
         self,
@@ -504,6 +523,15 @@ class Simulator:
                 record, capacity, record_trajectory, trajectory_capacity,
                 analytics,
             )
+        if _obs_trace.tracing_active() or _obs_profile.active_profiler() is not None:
+            # Instrumented twin of the loop below; the split keeps the
+            # disabled path structurally identical to the uninstrumented
+            # code (bench E15 asserts the disabled cost is ≤2%).
+            return self._run_seeds_observed(
+                configuration, seeds, max_steps, stability_window,
+                record, capacity, record_trajectory, trajectory_capacity,
+                analytics, buffer,
+            )
         results: List[SimulationResult] = []
         for seed in seeds:
             run_rng = random.Random(seed)
@@ -518,6 +546,59 @@ class Simulator:
                     configuration, max_steps, stability_window, run_rng,
                     record, capacity,
                 )
+            if analytics is not None:
+                result.analytics = analytics.extract(result, self.protocol)
+                self._restore_trajectory(
+                    result, record_trajectory, trajectory_capacity
+                )
+            results.append(result)
+        return results
+
+    def _run_seeds_observed(
+        self,
+        configuration: Configuration,
+        seeds: List[int],
+        max_steps: int,
+        stability_window: int,
+        record: bool,
+        capacity: int,
+        record_trajectory: bool,
+        trajectory_capacity: int,
+        analytics: Any,
+        buffer: Optional[List[int]],
+    ) -> List[SimulationResult]:
+        """The per-seed loop with tracing/profiling hooks enabled.
+
+        Semantically identical to the plain loop in :meth:`_run_seeds` —
+        instrumentation observes result objects and clocks, never the RNG
+        stream — plus two monotonic reads, one ``run`` span event, and one
+        profiler record per run.
+        """
+        profiler = _obs_profile.active_profiler()
+        engine_name = self._choice or "reference"
+        results: List[SimulationResult] = []
+        for seed in seeds:
+            run_rng = random.Random(seed)
+            t0 = monotonic_time()
+            if buffer is not None:
+                counts = self._compiled.counts_of(configuration, out=buffer)
+                result = self._run_compiled(
+                    configuration, counts, max_steps, stability_window, run_rng,
+                    record, capacity,
+                )
+            else:
+                result = self._dispatch(
+                    configuration, max_steps, stability_window, run_rng,
+                    record, capacity,
+                )
+            elapsed = monotonic_time() - t0
+            if profiler is not None:
+                profiler.record(engine_name, result.steps, elapsed)
+            _obs_trace.span_event(
+                "run", "run", t0, elapsed,
+                seed=int(seed), engine=engine_name, steps=result.steps,
+                consensus=result.consensus, terminated=result.terminated,
+            )
             if analytics is not None:
                 result.analytics = analytics.extract(result, self.protocol)
                 self._restore_trajectory(
@@ -564,9 +645,18 @@ class Simulator:
             # at most max_steps transitions.
             physical = max(1, min(capacity, max_steps))
             ring = np.zeros((len(seeds), physical), dtype=np.int64)
+        profiler = _obs_profile.active_profiler()
+        observing = profiler is not None or _obs_trace.tracing_active()
+        t0 = monotonic_time() if observing else 0.0
         steps, values, since, terminated, finals = ensemble.run(
             counts, seeds, max_steps, stability_window, one, zero, undef,
             ring, physical,
+        )
+        # Rows advance in lock step, so per-row wall time is not separable;
+        # the observed cost is attributed evenly across rows (timing fields
+        # are stripped from the canonical rendering anyway).
+        per_row = (
+            (monotonic_time() - t0) / max(1, len(seeds)) if observing else 0.0
         )
         results: List[SimulationResult] = []
         for i in range(len(seeds)):
@@ -589,6 +679,14 @@ class Simulator:
                 interactions_sampled=fired_steps,
                 trajectory=trajectory,
             )
+            if observing:
+                if profiler is not None:
+                    profiler.record("ensemble", fired_steps, per_row)
+                _obs_trace.span_event(
+                    "run", "run", t0, per_row,
+                    seed=int(seeds[i]), engine="ensemble", steps=fired_steps,
+                    consensus=result.consensus, terminated=result.terminated,
+                )
             if analytics is not None:
                 result.analytics = analytics.extract(result, self.protocol)
                 self._restore_trajectory(

@@ -32,9 +32,12 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..config import monotonic_time
 from ..core.configuration import Configuration
 from ..core.predicates import Predicate
 from ..core.protocol import Protocol
+from ..obs import trace as _obs_trace
+from ..obs.registry import get_registry
 from ..simulation.batch import WorkerPool, _dumps_for_workers
 from ..simulation.scheduler import Scheduler
 from ..simulation.simulator import SimulationResult, Simulator
@@ -145,6 +148,14 @@ class _HeartbeatPump:
     partition chaos tests starve a lease under a live runner.  A beat
     returning False (the claim is gone) is remembered so the claim loop can
     report the eventual lost commit with a cause.
+
+    Lease trouble is never silent: a beat that lands late (more than two
+    intervals since the previous one — a starved thread or a blocked store),
+    a gap that eats into the final beat of the lease window, and a beat
+    whose claim is already gone each emit a structured ``warning`` event
+    through :mod:`repro.obs.trace` and bump the
+    ``repro_sweep_heartbeat_warnings_total{reason=...}`` counter; the
+    reasons are also kept on :attr:`warnings` for the claim loop's report.
     """
 
     def __init__(self, store: ResultStore, claim: object, interval: float):
@@ -153,6 +164,12 @@ class _HeartbeatPump:
         self._interval = max(0.05, interval)
         self._stop = threading.Event()
         self.claim_alive = True
+        self.warnings: List[str] = []
+        self._warn_counter = get_registry().counter(
+            "repro_sweep_heartbeat_warnings_total",
+            "Heartbeat-pump lease warnings by reason.",
+            labelnames=("reason",),
+        )
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
     def __enter__(self) -> "_HeartbeatPump":
@@ -163,11 +180,37 @@ class _HeartbeatPump:
         self._stop.set()
         self._thread.join()
 
+    def _warn(self, reason: str, **attrs: object) -> None:
+        self.warnings.append(reason)
+        self._warn_counter.inc(reason=reason)
+        _obs_trace.event(
+            f"heartbeat-{reason}",
+            kind="warning",
+            reason=reason,
+            cell=getattr(self._claim, "cell", None),
+            owner=getattr(self._claim, "owner", None),
+            interval=self._interval,
+            **attrs,
+        )
+
     def _beat(self) -> None:
+        lease = getattr(self._store, "lease_seconds", None)
+        last = monotonic_time()
         while not self._stop.wait(self._interval):
+            now = monotonic_time()
+            gap = now - last
+            if gap > 2.0 * self._interval:
+                # At least one beat went missing (a starved thread, a store
+                # call that blocked) — the lease burned down unattended.
+                self._warn("skipped", gap=gap)
+            if lease is not None and gap > lease - self._interval:
+                # Within one beat of expiry: the next hiccup loses the claim.
+                self._warn("lease-at-risk", gap=gap, lease=lease)
             if not self._store.heartbeat(self._claim):
+                self._warn("lost")
                 self.claim_alive = False
                 return
+            last = monotonic_time()
 
 
 class SweepRunner:
@@ -281,41 +324,50 @@ class SweepRunner:
                 attempted += 1
                 self.store.mark_running(cell.cell_id)
                 self.store.flush()
-                try:
-                    if self.backend == "process" and pool is None:
-                        pool = WorkerPool(
-                            max_workers=self.max_workers,
-                            start_method=self.start_method,
+                with _obs_trace.span(
+                    "sweep-cell", kind="sweep-cell", cell=cell.cell_id
+                ) as cell_span:
+                    try:
+                        if self.backend == "process" and pool is None:
+                            pool = WorkerPool(
+                                max_workers=self.max_workers,
+                                start_method=self.start_method,
+                            )
+                        results = self._run_cell(cell, caches, pool)
+                    except Exception as error:
+                        failed += 1
+                        cell_span.set(status="error")
+                        self.store.mark_error(
+                            cell.cell_id, f"{type(error).__name__}: {error}"
                         )
-                    results = self._run_cell(cell, caches, pool)
-                except Exception as error:
-                    failed += 1
-                    self.store.mark_error(
-                        cell.cell_id, f"{type(error).__name__}: {error}"
-                    )
-                    self.store.flush()
-                    if progress is not None:
-                        progress(
-                            f"[{index + 1}/{len(cells)}] {cell.cell_id} "
-                            f"ERROR: {error}"
+                        self.store.flush()
+                        if progress is not None:
+                            progress(
+                                f"[{index + 1}/{len(cells)}] {cell.cell_id} "
+                                f"ERROR: {error}"
+                            )
+                        if on_error == "raise":
+                            raise
+                    else:
+                        executed += 1
+                        statistics = summarize_runs(results)
+                        cell_span.set(
+                            status="done",
+                            runs=statistics.runs,
+                            converged=statistics.converged,
                         )
-                    if on_error == "raise":
-                        raise
-                else:
-                    executed += 1
-                    statistics = summarize_runs(results)
-                    self.store.mark_done(
-                        cell.cell_id, statistics, **self._result_extras(
-                            cell, caches, results
+                        self.store.mark_done(
+                            cell.cell_id, statistics, **self._result_extras(
+                                cell, caches, results
+                            )
                         )
-                    )
-                    self.store.flush()
-                    if progress is not None:
-                        progress(
-                            f"[{index + 1}/{len(cells)}] {cell.cell_id} done "
-                            f"(converged {statistics.converged}/{statistics.runs}, "
-                            f"mean steps {statistics.mean_steps:.1f})"
-                        )
+                        self.store.flush()
+                        if progress is not None:
+                            progress(
+                                f"[{index + 1}/{len(cells)}] {cell.cell_id} done "
+                                f"(converged {statistics.converged}/{statistics.runs}, "
+                                f"mean steps {statistics.mean_steps:.1f})"
+                            )
         finally:
             if pool is not None:
                 pool.close()
@@ -409,6 +461,13 @@ class SweepRunner:
         stopped = False
         caches = _CellCaches()
         pool: Optional[WorkerPool] = None
+        # The registry mirror of this loop's ClaimReport counters: cumulative
+        # across claim loops in the process, scrapeable while the loop runs.
+        claim_counter = get_registry().counter(
+            "repro_sweep_claims_total",
+            "Claim outcomes processed by run_claims.",
+            labelnames=("outcome",),
+        )
         try:
             while True:
                 if stop_event is not None and stop_event.is_set():
@@ -451,7 +510,10 @@ class SweepRunner:
                             max_workers=self.max_workers,
                             start_method=self.start_method,
                         )
-                    with _HeartbeatPump(
+                    with _obs_trace.span(
+                        "claim", kind="claim", cell=claim.cell,
+                        attempt=claim.attempt, owner=owner,
+                    ), _HeartbeatPump(
                         self.store, claim, heartbeat_interval
                     ) as pump:
                         results = self._execute_claimed(
@@ -461,10 +523,13 @@ class SweepRunner:
                     fate = self.store.fail_claim(claim, str(error))
                     if fate == "retry":
                         retried += 1
+                        claim_counter.inc(outcome="retried")
                     elif fate == "parked":
                         parked += 1
+                        claim_counter.inc(outcome="parked")
                     else:
                         lost += 1
+                        claim_counter.inc(outcome="lost")
                     if progress is not None:
                         progress(
                             f"[{owner}] {claim.cell} attempt {claim.attempt} "
@@ -479,8 +544,10 @@ class SweepRunner:
                     )
                     if committed:
                         executed += 1
+                        claim_counter.inc(outcome="executed")
                     else:
                         lost += 1
+                        claim_counter.inc(outcome="lost")
                     if progress is not None:
                         outcome = "done" if committed else (
                             "lost (lease reclaimed)" if not pump.claim_alive
@@ -781,6 +848,11 @@ def claim_worker(
 
     if fault_plan is not None:
         install_fault_plan(fault_plan)
+
+    # Launcher-spawned runner processes honour REPRO_TRACE themselves: the
+    # parent's installed tracer does not survive a spawn, and each runner
+    # appends whole lines to the shared trace file under its own pid.
+    _obs_trace.tracer_from_env()
 
     stop_event = threading.Event()
 

@@ -1,0 +1,580 @@
+"""Tests for the observability layer (repro.obs) and its integrations.
+
+The load-bearing properties:
+
+* the metrics registry renders deterministic Prometheus text exposition —
+  stable sort, ``# HELP``/``# TYPE`` headers, integers bare — and survives
+  threaded hammering without losing updates or corrupting a concurrent
+  scrape,
+* spans nest by call stack, ship across process boundaries via
+  capture/adopt with ids remapped and top-level spans re-parented,
+* the canonical rendering of a traced ensemble is **byte-identical**
+  between the serial and process backends for a fixed seed (timing and
+  topology attrs stripped, logical structure kept),
+* a traced sweep cell / serve job reconstructs its full span tree,
+* the serve ``/metrics`` endpoint is idle-deterministic (two scrapes of an
+  untouched server are byte-identical) and self-describing,
+* the heartbeat pump turns lease trouble into structured warnings instead
+  of silence.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import from_counts
+from repro.obs import render
+from repro.obs import trace as obs_trace
+from repro.obs.__main__ import main as obs_main
+from repro.obs.profile import RUN_SECONDS_BUCKETS, EngineProfiler
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.protocols import majority_protocol
+from repro.serve.server import SimulationServer
+from repro.simulation import Simulator
+from repro.sweep import MemoryResultStore, SweepRunner, SweepSpec
+from repro.sweep.runner import _HeartbeatPump
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with no process-wide tracer installed."""
+    obs_trace.uninstall_tracer()
+    yield
+    obs_trace.uninstall_tracer()
+
+
+def _install_file_tracer(path):
+    return obs_trace.install_tracer(obs_trace.Tracer(str(path)))
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        jobs = registry.counter("repro_test_jobs_total", "Jobs.")
+        jobs.inc()
+        jobs.inc(4)
+        assert jobs.value() == 5
+        with pytest.raises(ValueError, match="only go up"):
+            jobs.inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        claims = registry.counter(
+            "repro_test_claims_total", "Claims.", labelnames=("outcome",)
+        )
+        claims.inc(outcome="executed")
+        claims.inc(2, outcome="lost")
+        assert claims.value(outcome="executed") == 1
+        assert claims.value(outcome="lost") == 2
+        assert claims.value(outcome="parked") == 0
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("repro_test_depth", "Queue depth.")
+        depth.set(7)
+        depth.inc(2)
+        depth.dec()
+        assert depth.value() == 8
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        lat = registry.histogram(
+            "repro_test_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            lat.observe(value)
+        text = registry.render()
+        assert 'repro_test_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_test_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_test_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_test_latency_seconds_count 3" in text
+        assert "repro_test_latency_seconds_sum 5.55" in text
+
+    def test_get_or_create_returns_same_family_and_rejects_mismatch(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "Help.")
+        assert registry.counter("repro_test_total", "Help.") is first
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_test_total", "Help.")
+        with pytest.raises(ValueError, match="label"):
+            registry.counter("repro_test_total", "Help.", labelnames=("x",))
+
+    def test_render_is_sorted_self_describing_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_z_total", "Last.").inc()
+        registry.gauge("repro_a_value", "First.").set(3)
+        text = registry.render()
+        assert text == registry.render()  # no mutation -> byte-identical
+        assert "# HELP repro_a_value First." in text
+        assert "# TYPE repro_a_value gauge" in text
+        assert "# TYPE repro_z_total counter" in text
+        assert text.index("repro_a_value") < text.index("repro_z_total")
+        # Integers render bare (no trailing .0) for byte-stability.
+        assert "repro_a_value 3\n" in text
+
+    def test_threaded_increments_lose_no_updates(self):
+        # Satellite: the registry is hammered from pool callback threads and
+        # the heartbeat pump; dropped updates would silently skew metrics.
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_test_hammer_total", "Hammered.", labelnames=("lane",)
+        )
+        hist = registry.histogram("repro_test_hammer_seconds", "Hammered.")
+        threads, per_thread, scrapes = 8, 2000, []
+
+        def hammer(lane):
+            for _ in range(per_thread):
+                counter.inc(lane=lane)
+                hist.observe(0.01)
+
+        def scrape():
+            for _ in range(50):
+                scrapes.append(registry.render())
+
+        workers = [
+            threading.Thread(target=hammer, args=(f"lane{i % 2}",))
+            for i in range(threads)
+        ] + [threading.Thread(target=scrape)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert counter.value(lane="lane0") == 4 * per_thread
+        assert counter.value(lane="lane1") == 4 * per_thread
+        count, total = hist.snapshot()
+        assert count == threads * per_thread
+        assert total == pytest.approx(threads * per_thread * 0.01)
+        # A concurrent scrape may be stale but never torn: every sample line
+        # must parse, and bucket counts must stay cumulative.
+        for text in scrapes:
+            for line in text.splitlines():
+                if line.startswith("#") or not line:
+                    continue
+                name, _, value = line.rpartition(" ")
+                assert name
+                float(value)
+
+    def test_sample_values_flattens_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "T.", labelnames=("k",)).inc(k="a")
+        registry.gauge("repro_test_depth", "D.").set(2)
+        values = registry.sample_values()
+        assert values['repro_test_total{k="a"}'] == 1
+        assert values["repro_test_depth"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Tracing core
+# ---------------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_spans_nest_by_call_stack(self):
+        with obs_trace.capture_events() as events:
+            with obs_trace.span("outer", kind="ensemble", reps=2) as outer:
+                with obs_trace.span("inner", kind="run"):
+                    pass
+                obs_trace.event("ping", kind="warning", reason="test")
+        inner, ping, outer_rec = events
+        assert inner["kind"] == "run" and inner["parent"] == outer.id
+        assert ping["ev"] == "event" and ping["parent"] == outer.id
+        assert outer_rec["id"] == outer.id and outer_rec["parent"] is None
+        assert outer_rec["attrs"]["reps"] == 2
+        assert outer_rec["dur"] >= 0.0
+
+    def test_span_records_error_and_reraises(self):
+        with obs_trace.capture_events() as events:
+            with pytest.raises(RuntimeError):
+                with obs_trace.span("boom", kind="run"):
+                    raise RuntimeError("nope")
+        assert events[0]["error"] == "RuntimeError"
+
+    def test_span_is_noop_when_nothing_listens(self):
+        with obs_trace.span("quiet", kind="run") as handle:
+            handle.set(ignored=True)
+        assert handle.id is None
+        assert not obs_trace.tracing_active()
+
+    def test_span_event_emits_pretimed_span(self):
+        with obs_trace.capture_events() as events:
+            obs_trace.span_event("run", "run", 1.0, 0.5, seed=7)
+        assert events[0]["t0"] == 1.0 and events[0]["dur"] == 0.5
+        assert events[0]["attrs"] == {"seed": 7}
+
+    def test_tracer_writes_meta_header_then_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _install_file_tracer(path)
+        with obs_trace.span("root", kind="ensemble"):
+            pass
+        obs_trace.uninstall_tracer()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["ev"] == "meta" and lines[0]["version"] == 1
+        assert lines[1]["ev"] == "span" and lines[1]["name"] == "root"
+
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        # Simulate a worker: its ids restart at whatever its process counter
+        # held, so the parent must remap them into its own id space.
+        shipped = [
+            {"ev": "meta", "version": 1},
+            {"ev": "span", "kind": "run", "name": "run", "id": 1,
+             "parent": 2, "attrs": {"seed": 0}},
+            {"ev": "span", "kind": "chunk", "name": "chunk", "id": 2,
+             "parent": None, "attrs": {}},
+        ]
+        with obs_trace.capture_events() as events:
+            with obs_trace.span("dispatch", kind="dispatch") as dispatch:
+                adopted = obs_trace.adopt(shipped, parent=dispatch.id)
+        assert len(adopted) == 2  # meta dropped
+        run, chunk = adopted
+        assert run["id"] != 1 and chunk["id"] != 2
+        assert run["parent"] == chunk["id"]  # intra-batch edge follows remap
+        assert chunk["parent"] == dispatch.id  # root re-homed under dispatch
+        assert events[-1]["id"] == dispatch.id
+
+    def test_tracer_from_env_installs_once(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_PATH", str(tmp_path / "env.jsonl"))
+        first = obs_trace.tracer_from_env()
+        assert first is not None
+        assert obs_trace.tracer_from_env() is first
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        obs_trace.uninstall_tracer()
+        assert obs_trace.tracer_from_env() is None
+
+
+# ---------------------------------------------------------------------------
+# Profiler
+# ---------------------------------------------------------------------------
+
+
+class TestEngineProfiler:
+    def test_record_flushes_counters_and_rate(self):
+        registry = MetricsRegistry()
+        profiler = EngineProfiler(registry=registry, sample_every=4)
+        for _ in range(4):
+            profiler.record("compiled", steps=100, seconds=0.01)
+        runs = registry.counter(
+            "repro_engine_runs_total", "", labelnames=("engine",)
+        )
+        steps = registry.counter(
+            "repro_engine_steps_total", "", labelnames=("engine",)
+        )
+        assert runs.value(engine="compiled") == 4
+        assert steps.value(engine="compiled") == 400
+        rate = registry.gauge(
+            "repro_engine_steps_per_second", "", labelnames=("engine",)
+        )
+        assert rate.value(engine="compiled") == pytest.approx(10000.0)
+
+    def test_flush_drains_partial_window(self):
+        registry = MetricsRegistry()
+        profiler = EngineProfiler(registry=registry, sample_every=100)
+        profiler.record("reference", steps=10, seconds=0.5)
+        runs = registry.counter(
+            "repro_engine_runs_total", "", labelnames=("engine",)
+        )
+        assert runs.value(engine="reference") == 0  # window not full yet
+        profiler.flush()
+        assert runs.value(engine="reference") == 1
+
+    def test_every_run_lands_in_the_seconds_histogram(self):
+        registry = MetricsRegistry()
+        profiler = EngineProfiler(registry=registry, sample_every=1000)
+        profiler.record("compiled", steps=1, seconds=0.25)
+        hist = registry.histogram(
+            "repro_engine_run_seconds", "", labelnames=("engine",),
+            buckets=RUN_SECONDS_BUCKETS,
+        )
+        count, total = hist.snapshot(engine="compiled")
+        assert (count, total) == (1, 0.25)
+
+
+# ---------------------------------------------------------------------------
+# Engine / pool integration and cross-backend byte-identity
+# ---------------------------------------------------------------------------
+
+
+def _traced_ensemble(path, backend, **kwargs):
+    protocol = majority_protocol()
+    inputs = from_counts(A=16, B=8)
+    _install_file_tracer(path)
+    try:
+        results = Simulator(protocol, seed=2022).run_many(
+            inputs, repetitions=8, max_steps=2000, backend=backend, **kwargs
+        )
+    finally:
+        obs_trace.uninstall_tracer()
+    return results
+
+
+class TestEngineIntegration:
+    def test_traced_serial_ensemble_emits_run_spans_under_ensemble(self, tmp_path):
+        path = tmp_path / "serial.jsonl"
+        results = _traced_ensemble(path, "serial")
+        events = render.load_events(str(path))
+        runs = [e for e in events if e.get("kind") == "run"]
+        ensembles = [e for e in events if e.get("kind") == "ensemble"]
+        assert len(runs) == len(results) == 8
+        assert len(ensembles) == 1
+        assert all(r["parent"] == ensembles[0]["id"] for r in runs)
+        assert [r["attrs"]["steps"] for r in runs] == [r.steps for r in results]
+
+    def test_process_trace_reconstructs_dispatch_and_chunk_layers(self, tmp_path):
+        path = tmp_path / "process.jsonl"
+        _traced_ensemble(path, "process", max_workers=2)
+        events = render.load_events(str(path))
+        by_kind = {}
+        for record in events:
+            by_kind.setdefault(record.get("kind"), []).append(record)
+        (dispatch,) = by_kind["dispatch"]
+        (ensemble,) = by_kind["ensemble"]
+        assert dispatch["parent"] == ensemble["id"]
+        chunk_ids = {c["id"] for c in by_kind["chunk"]}
+        assert all(c["parent"] == dispatch["id"] for c in by_kind["chunk"])
+        assert all(r["parent"] in chunk_ids for r in by_kind["run"])
+        assert len(by_kind["run"]) == 8
+
+    def test_canon_is_byte_identical_across_backends(self, tmp_path):
+        # The acceptance criterion: strip timing/topology, and a fixed-seed
+        # trace is the same bytes whether the ensemble ran serially or
+        # through worker processes.
+        serial_path = tmp_path / "serial.jsonl"
+        process_path = tmp_path / "process.jsonl"
+        serial = _traced_ensemble(serial_path, "serial")
+        parallel = _traced_ensemble(process_path, "process", max_workers=2)
+        assert serial == parallel  # the existing bit-identity contract
+        canon_serial = render.canon(render.load_events(str(serial_path)))
+        canon_process = render.canon(render.load_events(str(process_path)))
+        assert canon_serial.encode() == canon_process.encode()
+        kinds = [json.loads(l)["kind"] for l in canon_serial.splitlines()]
+        assert set(kinds) == {"run", "ensemble"}
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration
+# ---------------------------------------------------------------------------
+
+
+def _sweep_spec():
+    return SweepSpec(
+        protocols=("majority",),
+        populations=(8, 12),
+        schedulers=("uniform",),
+        engines=("compiled",),
+        repetitions=2,
+        master_seed=42,
+        max_steps=300,
+        stability_window=50,
+    )
+
+
+class TestSweepIntegration:
+    def test_sweep_cell_span_tree_and_claim_counters(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        _install_file_tracer(path)
+        try:
+            report = SweepRunner(
+                _sweep_spec(), MemoryResultStore(), backend="serial"
+            ).run()
+        finally:
+            obs_trace.uninstall_tracer()
+        assert report.executed == 2
+        events = render.load_events(str(path))
+        cells = [e for e in events if e.get("kind") == "sweep-cell"]
+        runs = [e for e in events if e.get("kind") == "run"]
+        assert len(cells) == 2
+        assert all(c["attrs"]["status"] == "done" for c in cells)
+        cell_ids = {c["id"] for c in cells}
+        assert all(r["parent"] in cell_ids for r in runs)
+
+    def test_sweep_canon_is_byte_identical_across_backends(self, tmp_path):
+        canons = {}
+        for backend in ("serial", "process"):
+            path = tmp_path / f"{backend}.jsonl"
+            _install_file_tracer(path)
+            try:
+                kwargs = {"max_workers": 2} if backend == "process" else {}
+                SweepRunner(
+                    _sweep_spec(), MemoryResultStore(), backend=backend, **kwargs
+                ).run()
+            finally:
+                obs_trace.uninstall_tracer()
+            canons[backend] = render.canon(render.load_events(str(path)))
+        assert canons["serial"].encode() == canons["process"].encode()
+
+    def test_heartbeat_pump_warns_on_lost_claim(self):
+        class _LostStore:
+            lease_seconds = 30.0
+
+            def heartbeat(self, claim):
+                return False
+
+        claim = type("Claim", (), {"cell": "c1", "owner": "w1"})()
+        before = get_registry().counter(
+            "repro_sweep_heartbeat_warnings_total",
+            "Heartbeat-pump lease warnings by reason.",
+            labelnames=("reason",),
+        ).value(reason="lost")
+        with obs_trace.capture_events() as events:
+            pump = _HeartbeatPump(_LostStore(), claim, interval=0.05)
+            with pump:
+                pump._thread.join(timeout=5.0)
+        assert pump.claim_alive is False
+        assert "lost" in pump.warnings
+        warning = next(e for e in events if e.get("kind") == "warning")
+        assert warning["name"] == "heartbeat-lost"
+        assert warning["attrs"]["cell"] == "c1"
+        after = get_registry().counter(
+            "repro_sweep_heartbeat_warnings_total",
+            "Heartbeat-pump lease warnings by reason.",
+            labelnames=("reason",),
+        ).value(reason="lost")
+        assert after == before + 1
+
+    def test_heartbeat_pump_warns_when_lease_margin_gone(self):
+        class _TightStore:
+            # One beat of margin: every gap lands within a beat of expiry.
+            lease_seconds = 0.06
+
+            def __init__(self):
+                self.beats = 0
+
+            def heartbeat(self, claim):
+                self.beats += 1
+                return self.beats < 3
+
+        claim = type("Claim", (), {"cell": "c2", "owner": "w2"})()
+        pump = _HeartbeatPump(_TightStore(), claim, interval=0.05)
+        with pump:
+            pump._thread.join(timeout=5.0)
+        assert "lease-at-risk" in pump.warnings
+
+
+# ---------------------------------------------------------------------------
+# Serve integration
+# ---------------------------------------------------------------------------
+
+
+class TestServeIntegration:
+    def test_idle_metrics_scrapes_are_byte_identical(self):
+        server = SimulationServer(backend="serial")
+        first = server.metrics_text()
+        second = server.metrics_text()
+        assert first.encode() == second.encode()
+
+    def test_metrics_exposition_is_self_describing_and_sorted(self):
+        server = SimulationServer(backend="serial")
+        text = server.metrics_text()
+        assert "# HELP repro_serve_jobs_submitted " in text
+        assert "# TYPE repro_serve_jobs_submitted counter" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_job_queue_wait_seconds histogram" in text
+        samples = [
+            line.split("{")[0].rpartition(" ")[0] or line.rpartition(" ")[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        families = [s.split("{")[0] for s in samples]
+        assert families == sorted(families)
+        assert "repro_serve_uptime_seconds" not in text  # clocks break idle identity
+
+    def test_two_servers_do_not_share_counters(self):
+        first = SimulationServer(backend="serial")
+        second = SimulationServer(backend="serial")
+        first.metrics.inc("jobs_submitted")
+        assert first.metrics.jobs_submitted == 1
+        assert second.metrics.jobs_submitted == 0
+
+    def test_legacy_attribute_writes_still_reach_the_registry(self):
+        server = SimulationServer(backend="serial")
+        server.metrics.jobs_failed += 1
+        assert server.metrics.jobs_failed == 1
+        assert "repro_serve_jobs_failed 1" in server.metrics_text()
+
+    def test_serve_job_span_tree_reconstructs_queue_and_execution(self):
+        from repro.serve import BackgroundServer, ServeClient
+
+        job = dict(protocol="majority", population=24, repetitions=3,
+                   max_steps=8000)
+        with obs_trace.capture_events() as events:
+            with BackgroundServer(backend="serial", concurrency=1) as bg:
+                client = ServeClient(bg.url, client_id="obs1")
+                client.run(job, timeout=300)
+        jobs = [e for e in events if e.get("kind") == "serve-job"]
+        assert len(jobs) == 1
+        serve_job = jobs[0]
+        assert serve_job["attrs"]["status"] == "done"
+        assert serve_job["attrs"]["queue_wait"] >= 0.0
+        assert serve_job["attrs"]["exec_seconds"] >= 0.0
+        # The executor thread inherits the serve-job span via the copied
+        # context, so the per-run spans parent under it.
+        runs = [e for e in events if e.get("kind") == "run"]
+        assert len(runs) == 3
+        assert all(r["parent"] == serve_job["id"] for r in runs)
+        hist_count, _ = bg.server._queue_wait.snapshot()
+        assert hist_count == 1
+
+
+# ---------------------------------------------------------------------------
+# Rendering and the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestRenderAndCli:
+    def _write_trace(self, path):
+        _install_file_tracer(path)
+        try:
+            with obs_trace.span("sweep-cell", kind="sweep-cell", cell="c"):
+                obs_trace.span_event("run", "run", 0.0, 0.1, seed=1, steps=5)
+                obs_trace.span_event("run", "run", 0.1, 0.2, seed=2, steps=9)
+            obs_trace.event("heartbeat-skipped", kind="warning", reason="skipped")
+        finally:
+            obs_trace.uninstall_tracer()
+
+    def test_summary_counts_spans_and_events(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        text = render.summary(render.load_events(str(path)))
+        assert "run" in text and "sweep-cell" in text
+        assert "warning" in text
+
+    def test_timeline_nests_children(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        text = render.timeline(render.load_events(str(path)))
+        lines = text.splitlines()
+        cell_line = next(i for i, l in enumerate(lines) if "sweep-cell" in l)
+        run_lines = [l for l in lines if " run" in l]
+        assert len(run_lines) == 2
+        # Children render indented beneath their parent.
+        assert all(l.index("run") > lines[cell_line].index("sweep-cell")
+                   for l in run_lines)
+
+    def test_load_events_names_the_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev":"span"}\nnot json\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            render.load_events(str(path))
+
+    def test_cli_summary_tail_timeline_canon(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path)
+        for command in ("summary", "tail", "timeline"):
+            assert obs_main([command, str(path)]) == 0
+            assert capsys.readouterr().out
+        out = tmp_path / "canon.jsonl"
+        assert obs_main(["canon", str(path), "-o", str(out)]) == 0
+        kinds = [json.loads(l)["kind"] for l in out.read_text().splitlines()]
+        assert kinds == ["run", "run", "sweep-cell"]
+
+    def test_cli_reports_missing_file(self, tmp_path, capsys):
+        assert obs_main(["summary", str(tmp_path / "absent.jsonl")]) == 1
+        assert "absent" in capsys.readouterr().err
